@@ -1,0 +1,42 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it next to the published numbers.  The baseline ATM sweep is shared
+across tables (the paper reuses its Table 1 ATM column as the baseline
+of Tables 4, 6 and 7).
+"""
+
+import pytest
+
+from repro.core.experiment import PAPER_SIZES, run_round_trip
+
+#: Iterations per benchmark point (after warmup); the simulator is
+#: deterministic so this is enough for stable means.
+ITERATIONS = 6
+WARMUP = 2
+
+
+@pytest.fixture(scope="session")
+def atm_baseline():
+    """size -> RoundTripResult for the stock kernel over ATM."""
+    return {
+        size: run_round_trip(size=size, network="atm",
+                             iterations=ITERATIONS, warmup=WARMUP)
+        for size in PAPER_SIZES
+    }
+
+
+def run_sweep(network="atm", config=None, sizes=None,
+              iterations=ITERATIONS, warmup=WARMUP):
+    """One full size sweep; returns size -> RoundTripResult."""
+    sizes = sizes if sizes is not None else PAPER_SIZES
+    return {
+        size: run_round_trip(size=size, network=network, config=config,
+                             iterations=iterations, warmup=warmup)
+        for size in sizes
+    }
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

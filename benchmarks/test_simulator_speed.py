@@ -1,0 +1,45 @@
+"""Host-machine performance of the simulator itself (pytest-benchmark).
+
+These are the only benchmarks here that measure *wall-clock* speed; all
+others regenerate the paper's simulated-time results.
+"""
+
+from repro.core.experiment import run_round_trip
+from repro.sim import CPU, Priority, Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(10, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+def test_cpu_model_throughput(benchmark):
+    def run_jobs():
+        sim = Simulator()
+        cpu = CPU(sim)
+        for i in range(5_000):
+            cpu.run(100, Priority.KERNEL if i % 2 else Priority.USER)
+        sim.run()
+        return cpu.jobs_completed
+
+    assert benchmark(run_jobs) == 5_000
+
+
+def test_full_stack_round_trip_speed(benchmark):
+    def one_point():
+        return run_round_trip(size=500, iterations=4, warmup=1)
+
+    result = benchmark.pedantic(one_point, rounds=3, iterations=1)
+    assert result.echo_errors == 0

@@ -1,0 +1,65 @@
+"""Table 2: breakdown of BSD 4.4 alpha transmit-side latency.
+
+Regenerates the per-layer transmit spans (User, TCP checksum/mcopy/
+segment, IP, ATM) from the kernel's span instrumentation.
+"""
+
+from conftest import once
+
+from repro.core import paperdata
+from repro.core.breakdown import measure_breakdowns
+from repro.core.report import format_table
+
+ROWS = ("user", "checksum", "mcopy", "segment", "ip", "atm", "total")
+
+#: Per-row relative tolerance vs the paper (the mcopy row is tiny and
+#: noisy at small sizes; totals are tight).
+TOLERANCE = {"user": 0.30, "checksum": 0.12, "mcopy": 0.45,
+             "segment": 0.25, "ip": 0.10, "atm": 0.35, "total": 0.20}
+
+
+def test_table2(benchmark):
+    tx_rows, _ = once(benchmark, measure_breakdowns)
+
+    print()
+    table_rows = []
+    for tx in tx_rows:
+        paper = dict(zip(paperdata.TABLE2_ROWS,
+                         paperdata.TABLE2_TRANSMIT[tx.size]))
+        for row in ROWS:
+            table_rows.append((tx.size, row, round(tx.row(row), 1),
+                               paper[row]))
+    print(format_table("Table 2: transmit-side breakdown (us)",
+                       ("size", "layer", "sim", "paper"), table_rows,
+                       width=10))
+
+    for tx in tx_rows:
+        paper = dict(zip(paperdata.TABLE2_ROWS,
+                         paperdata.TABLE2_TRANSMIT[tx.size]))
+        # The 8000-byte column is two segments; the paper's IP/segment
+        # rows there reflect single-packet attribution (see
+        # EXPERIMENTS.md), so shape checks are per-row tolerant.
+        for row in ("user", "checksum", "total"):
+            sim = tx.row(row)
+            assert abs(sim / paper[row] - 1) <= TOLERANCE[row], (
+                f"{tx.size}B {row}: sim {sim:.1f} vs paper {paper[row]}")
+
+
+def test_table2_checksum_dominates_large_transfers(benchmark):
+    tx_rows, _ = once(benchmark, lambda: measure_breakdowns(
+        sizes=[4000, 8000]))
+    for tx in tx_rows:
+        # §2.3: data-touching operations dominate for large transfers.
+        assert tx.checksum > tx.segment + tx.ip
+        assert tx.checksum > 0.4 * tx.total
+
+
+def test_table2_mcopy_drops_at_cluster_switchover(benchmark):
+    tx_rows, _ = once(benchmark, lambda: measure_breakdowns(
+        sizes=[500, 1400]))
+    by_size = {t.size: t for t in tx_rows}
+    # §2.2.1: the refcounted cluster copy makes mcopy *cheaper* at 1400
+    # bytes than at 500 bytes.
+    assert by_size[1400].mcopy < by_size[500].mcopy
+    # And the copyin (User) also drops per the cluster switch.
+    assert by_size[1400].user < by_size[500].user

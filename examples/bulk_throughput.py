@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Throughput, the flip side of the paper's latency story (§4.2).
+
+Measures one-way bulk TCP goodput on the simulated DECstation/ATM
+testbed under the three checksum strategies, and shows where the time
+goes: the receiver's per-cell FIFO drain and checksum work saturate its
+CPU long before the 140 Mb/s fiber does — which is precisely why the
+paper points at DMA-capable adapters plus checksum elimination for
+moving data "at near bus bandwidth speeds to the application layer".
+
+Run:  python examples/bulk_throughput.py
+"""
+
+from repro.core.report import format_table
+from repro.core.throughput import run_bulk_throughput
+from repro.kern.config import ChecksumMode
+
+TOTAL = 300_000
+
+
+def main() -> None:
+    print(f"One-way bulk transfer of {TOTAL // 1000} KB over simulated "
+          f"ATM (140 Mb/s fiber)")
+    print("=" * 66)
+
+    rows = []
+    for mode in (ChecksumMode.STANDARD, ChecksumMode.INTEGRATED,
+                 ChecksumMode.OFF):
+        r = run_bulk_throughput(total_bytes=TOTAL, checksum_mode=mode)
+        rows.append((mode.value, round(r.goodput_mb_s, 2),
+                     round(r.receiver_cpu_busy_frac * 100),
+                     round(r.sender_cpu_busy_frac * 100),
+                     r.data_segments, r.retransmits))
+    print(format_table(
+        "Goodput by checksum strategy",
+        ("mode", "MB/s", "rx_cpu%", "tx_cpu%", "segs", "rtx"), rows,
+        width=10))
+
+    eth = run_bulk_throughput(total_bytes=120_000, network="ethernet")
+    print()
+    print(f"For contrast, 10 Mb/s Ethernet: {eth.goodput_mb_s:.2f} MB/s "
+          f"(wire-limited; rx CPU {eth.receiver_cpu_busy_frac:.0%}).")
+    print()
+    print("Reading the numbers:")
+    print(" * the fiber could carry 17.5 MB/s; the receiving CPU can't —")
+    print("   the uncached per-cell FIFO drain plus the checksum burn it;")
+    print(" * dropping the checksum buys the biggest single win, exactly")
+    print("   the §4.2 argument for making it optional on local fiber;")
+    print(" * even then we're nowhere near wire speed: without DMA the")
+    print("   driver's copy dominates — the paper's closing point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The checksum design space: standard vs integrated vs eliminated (§4).
+
+Sweeps transfer size for the three checksum strategies the paper
+studies, prints the resulting round-trip latencies, locates the
+integrated kernel's break-even point, and renders the comparison as an
+ASCII figure.
+
+Run:  python examples/checksum_tradeoffs.py
+"""
+
+from repro import PAPER_SIZES, run_round_trip
+from repro.core.report import ascii_chart, format_table, pct_change
+from repro.kern.config import ChecksumMode, KernelConfig
+
+
+def sweep(mode: ChecksumMode):
+    config = KernelConfig(checksum_mode=mode)
+    return {
+        size: run_round_trip(size=size, config=config,
+                             iterations=6, warmup=2).mean_rtt_us
+        for size in PAPER_SIZES
+    }
+
+
+def main() -> None:
+    print("Sweeping the three checksum strategies over ATM...")
+    standard = sweep(ChecksumMode.STANDARD)
+    integrated = sweep(ChecksumMode.INTEGRATED)
+    off = sweep(ChecksumMode.OFF)
+
+    rows = []
+    for size in PAPER_SIZES:
+        rows.append((size, round(standard[size]), round(integrated[size]),
+                     round(off[size]),
+                     round(pct_change(standard[size], integrated[size]), 1),
+                     round(pct_change(standard[size], off[size]), 1)))
+    print()
+    print(format_table(
+        "Round-trip latency by checksum strategy (us)",
+        ("size", "standard", "integrated", "none", "integ%", "none%"),
+        rows, width=11))
+
+    # Locate the integrated kernel's break-even point (Table 6's
+    # headline: between 500 and 1400 bytes).
+    crossover = None
+    for lo, hi in zip(PAPER_SIZES, PAPER_SIZES[1:]):
+        lo_loses = integrated[lo] > standard[lo]
+        hi_wins = integrated[hi] < standard[hi]
+        if lo_loses and hi_wins:
+            crossover = (lo, hi)
+            break
+    print()
+    if crossover:
+        print(f"Integrated copy+checksum breaks even between "
+              f"{crossover[0]} and {crossover[1]} bytes "
+              f"(paper: between 500 and 1400).")
+    else:
+        print("No break-even found in the measured range.")
+
+    print()
+    print(ascii_chart(
+        "Round-trip latency vs size (us)",
+        PAPER_SIZES,
+        {
+            "standard checksum": [standard[s] for s in PAPER_SIZES],
+            "integrated copy+cksum": [integrated[s] for s in PAPER_SIZES],
+            "no checksum": [off[s] for s in PAPER_SIZES],
+        }))
+
+    print()
+    print("Takeaways (matching §4 of the paper):")
+    print(" * integrating the checksum into the copy only pays off for")
+    print("   transfers above ~1 KB; small packets eat the bookkeeping;")
+    print(" * eliminating the checksum always helps, up to ~40% for")
+    print("   page-sized transfers — if something else checks the data.")
+
+
+if __name__ == "__main__":
+    main()

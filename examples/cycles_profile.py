@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Where do the CPU cycles go?  (The study behind the study.)
+
+Tables 2/3 decompose the *latency critical path*; this example
+decomposes raw *CPU consumption* on the receiving workstation for small
+and large RPCs, under the standard and eliminated checksum — the
+Kay & Pasquale-style processing-time view the paper builds on.
+
+Run:  python examples/cycles_profile.py
+"""
+
+from repro.core.experiment import RoundTripBenchmark
+from repro.core.profile import format_profile, profile_host
+from repro.core.testbed import build_atm_pair
+from repro.kern.config import ChecksumMode, KernelConfig
+
+
+def profile(size: int, mode: ChecksumMode = ChecksumMode.STANDARD):
+    tb = build_atm_pair(config=KernelConfig(checksum_mode=mode))
+    RoundTripBenchmark(tb, size=size, iterations=8, warmup=2).run()
+    return tb.server
+
+
+def main() -> None:
+    print("Receiver CPU profiles over 8 measured RPC round trips")
+    print("=" * 60)
+    for size in (80, 8000):
+        host = profile(size)
+        print()
+        print(format_profile(
+            host, f"{size}-byte RPCs, standard checksum"))
+
+    host = profile(8000, ChecksumMode.OFF)
+    print()
+    print(format_profile(host, "8000-byte RPCs, checksum eliminated"))
+
+    std = profile_host(profile(8000))
+    off = profile_host(profile(8000, ChecksumMode.OFF))
+
+    def data_touching(p):
+        return p.get("checksum", 0) + p.get("copies", 0)
+
+    print()
+    print("Observations (echoing §2.3 of the paper):")
+    print(f" * at 8000 bytes, data-touching work (copies + checksums) is")
+    print(f"   {data_touching(std) / sum(std.values()):.0%} of all CPU "
+          f"cycles with the checksum on,")
+    print(f"   {data_touching(off) / sum(off.values()):.0%} with it "
+          f"eliminated — the driver's per-cell")
+    print("   FIFO drain then dominates, pointing straight at DMA;")
+    print(" * at 80 bytes, protocol logic and scheduling overheads are")
+    print("   the story instead, which is why header prediction and")
+    print("   faster context switches were the era's small-packet hopes.")
+
+
+if __name__ == "__main__":
+    main()

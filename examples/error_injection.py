@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The end-to-end argument, measured (§4.2).
+
+Injects real bit errors at the paper's four sources — the fiber (caught
+by AAL3/4 cell CRCs), the network controller's host transfers, and
+gateway-injected data (both invisible to the link check) — and shows
+which layer catches what, with and without the TCP checksum.
+
+Run:  python examples/error_injection.py
+"""
+
+from repro.core.errorstudy import run_error_study
+from repro.core.report import format_table
+from repro.kern.config import ChecksumMode
+
+
+def main() -> None:
+    print("Error detection by layer, 40 RPCs of 1400 bytes each")
+    print("=" * 68)
+
+    scenarios = [
+        ("clean local fiber", dict()),
+        ("noisy fiber (link errors)", dict(p_link=0.15)),
+        ("flaky controller", dict(p_controller=0.15)),
+        ("wide-area (gateway) traffic", dict(p_gateway=0.15)),
+    ]
+
+    rows = []
+    for name, faults in scenarios:
+        r = run_error_study(size=1400, iterations=40, seed=77, **faults)
+        rows.append((name, r.total_injected, r.caught_by_link_check,
+                     r.caught_by_tcp_checksum, r.caught_by_application,
+                     r.retransmissions))
+    print(format_table(
+        "With the standard TCP checksum",
+        ("scenario", "injected", "link-crc", "tcp", "app", "rtx"), rows,
+        width=13))
+
+    print()
+    rows = []
+    for name, faults in scenarios:
+        r = run_error_study(size=1400, iterations=40, seed=77,
+                            checksum_mode=ChecksumMode.OFF, **faults)
+        rows.append((name, r.total_injected, r.caught_by_link_check,
+                     r.caught_by_tcp_checksum, r.caught_by_application,
+                     r.undetected))
+    print(format_table(
+        "With the TCP checksum eliminated",
+        ("scenario", "injected", "link-crc", "tcp", "app", "undet"), rows,
+        width=13))
+
+    print()
+    print("Reading the tables like the paper does:")
+    print(" * fiber errors never get past the AAL cell CRCs, checksum")
+    print("   or not — eliminating the TCP checksum loses nothing there;")
+    print(" * controller and gateway errors are exactly what the TCP")
+    print("   checksum exists to catch; remove it and only an")
+    print("   application-level check stands between you and silent")
+    print("   corruption — hence the paper's advice to eliminate the")
+    print("   checksum only for local traffic and checking applications.")
+
+
+if __name__ == "__main__":
+    main()

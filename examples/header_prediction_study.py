@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Why header prediction barely helps RPC traffic (§3).
+
+The BSD 4.4 fast path succeeds in exactly two cases: receiving a pure
+in-sequence ACK, or receiving pure in-sequence data whose ACK field
+acknowledges nothing new — the two sides of a *unidirectional bulk*
+transfer.  Round-trip RPC traffic piggybacks ACKs on data, so the check
+fails.  This example runs both traffic patterns on the same simulated
+kernel and reports the fast-path hit rate for each, then reproduces the
+paper's Table 4 comparison.
+
+Run:  python examples/header_prediction_study.py
+"""
+
+from repro.core.experiment import SERVER_PORT, payload_pattern, \
+    run_round_trip
+from repro.core.report import format_table, pct_change
+from repro.core.testbed import build_atm_pair
+from repro.kern.config import KernelConfig
+
+
+def rpc_pattern_hit_rate(size: int = 500, calls: int = 20):
+    """Fast-path statistics for the paper's round-trip benchmark."""
+    result = run_round_trip(size=size, iterations=calls, warmup=2)
+    stats = result.server_stats
+    return stats["fast_path_data_hits"], stats["data_segs_received"]
+
+
+def bulk_pattern_hit_rate(total_bytes: int = 120_000):
+    """Fast-path statistics for a one-way bulk transfer."""
+    tb = build_atm_pair()
+
+    def server(listener):
+        child = yield from listener.accept()
+        yield from child.recv(total_bytes, exact=True)
+        return child
+
+    def client():
+        sock = tb.client.socket()
+        yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+        yield from sock.send(payload_pattern(total_bytes))
+        yield tb.sim.timeout(50_000_000)  # let the last ACKs drain
+        return sock
+
+    listener = tb.server.socket()
+    listener.listen(SERVER_PORT)
+    server_done = tb.server.spawn(server(listener), name="bulk-server")
+    client_done = tb.client.spawn(client(), name="bulk-client")
+    tb.sim.run_until_triggered(client_done)
+    tb.sim.run_until_triggered(server_done)
+    ssock = server_done.value
+    csock = client_done.value
+    receiver = ssock.conn.stats
+    sender = csock.conn.stats
+    return ((receiver.fast_path_data_hits, receiver.data_segs_received),
+            (sender.fast_path_ack_hits, sender.segs_received))
+
+
+def main() -> None:
+    print("Fast-path success by traffic pattern")
+    print("=" * 60)
+    rpc_hits, rpc_segs = rpc_pattern_hit_rate()
+    (bulk_rx_hits, bulk_rx_segs), (bulk_ack_hits, bulk_acks) = \
+        bulk_pattern_hit_rate()
+    rows = [
+        ("RPC round-trip (data rx)", rpc_hits, rpc_segs,
+         round(100 * rpc_hits / max(1, rpc_segs))),
+        ("bulk one-way (data rx)", bulk_rx_hits, bulk_rx_segs,
+         round(100 * bulk_rx_hits / max(1, bulk_rx_segs))),
+        ("bulk one-way (acks at tx)", bulk_ack_hits, bulk_acks,
+         round(100 * bulk_ack_hits / max(1, bulk_acks))),
+    ]
+    print(format_table("Header-prediction hits",
+                       ("pattern", "hits", "segments", "rate%"), rows,
+                       width=14))
+    print()
+    print("Bulk transfers ride the fast path almost always; RPC-style")
+    print("exchanges (data with piggybacked ACKs) almost never — the")
+    print("paper's §3 finding, reproduced from the same BSD conditions.")
+
+    print()
+    print("Latency effect (Table 4): prediction on vs off")
+    rows = []
+    for size in (4, 500, 8000):
+        on = run_round_trip(size=size, iterations=6, warmup=2)
+        off = run_round_trip(size=size, iterations=6, warmup=2,
+                             config=KernelConfig(header_prediction=False))
+        rows.append((size, round(off.mean_rtt_us), round(on.mean_rtt_us),
+                     round(pct_change(off.mean_rtt_us, on.mean_rtt_us), 1)))
+    print(format_table("Round-trip times (us)",
+                       ("size", "no-predict", "predict", "saving%"), rows,
+                       width=12))
+
+
+if __name__ == "__main__":
+    main()

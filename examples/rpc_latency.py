@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Is TCP a viable transport for RPC?  (§1's motivating question.)
+
+Simulates a lightweight-RPC-style workload — a small request (32 bytes
+of arguments) answered by a modest reply — under the configurations the
+paper studies, and reports what an RPC system designer in 1994 would
+have wanted to know: per-call latency over ATM vs Ethernet, and how much
+the checksum options buy.
+
+Run:  python examples/rpc_latency.py
+"""
+
+from repro.core.experiment import SERVER_PORT, payload_pattern
+from repro.core.report import format_table, pct_change
+from repro.core.testbed import build_atm_pair, build_ethernet_pair
+from repro.kern.config import ChecksumMode, KernelConfig
+
+REQUEST_BYTES = 32
+REPLY_BYTES = 200
+CALLS = 16
+
+
+def run_rpc(network: str, checksum_mode: ChecksumMode) -> float:
+    """Mean per-call latency in microseconds for the RPC workload."""
+    config = KernelConfig(checksum_mode=checksum_mode)
+    if network == "atm":
+        tb = build_atm_pair(config=config)
+    else:
+        tb = build_ethernet_pair(config=config)
+
+    request = payload_pattern(REQUEST_BYTES, seed=1)
+    reply = payload_pattern(REPLY_BYTES, seed=2)
+
+    def server(listener):
+        child = yield from listener.accept()
+        while True:
+            args = yield from child.recv(REQUEST_BYTES, exact=True)
+            if len(args) < REQUEST_BYTES:
+                return
+            yield from child.send(reply)
+
+    def client():
+        sock = tb.client.socket()
+        yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+        clock = tb.client.clock
+        latencies = []
+        for i in range(CALLS + 2):
+            t0 = clock.read_ticks()
+            yield from sock.send(request)
+            got = yield from sock.recv(REPLY_BYTES, exact=True)
+            assert got == reply
+            if i >= 2:  # discard warmup calls
+                latencies.append(clock.delta_us(t0, clock.read_ticks()))
+        return sum(latencies) / len(latencies)
+
+    listener = tb.server.socket()
+    listener.listen(SERVER_PORT)
+    tb.server.spawn(server(listener), name="rpc-server")
+    done = tb.client.spawn(client(), name="rpc-client")
+    return tb.sim.run_until_triggered(done)
+
+
+def main() -> None:
+    print(f"RPC workload: {REQUEST_BYTES}-byte call, "
+          f"{REPLY_BYTES}-byte reply, {CALLS} calls")
+    print("=" * 60)
+
+    results = {}
+    for network in ("atm", "ethernet"):
+        for mode in (ChecksumMode.STANDARD, ChecksumMode.OFF):
+            results[(network, mode)] = run_rpc(network, mode)
+
+    rows = []
+    for network in ("atm", "ethernet"):
+        std = results[(network, ChecksumMode.STANDARD)]
+        off = results[(network, ChecksumMode.OFF)]
+        rows.append((network, round(std), round(off),
+                     round(pct_change(std, off), 1)))
+    print(format_table("Per-call latency (us)",
+                       ("network", "standard", "no-cksum", "saving%"),
+                       rows, width=11))
+
+    atm = results[("atm", ChecksumMode.STANDARD)]
+    eth = results[("ethernet", ChecksumMode.STANDARD)]
+    print()
+    print(f"ATM cuts per-call latency by {pct_change(eth, atm):.0f}% vs "
+          f"Ethernet.")
+    print("At ~1.3 ms per call on ATM, TCP is within striking distance")
+    print("of dedicated RPC transports of the era — the paper's answer")
+    print("to its own §1 question, with the checksum option giving a")
+    print("further modest win at these argument sizes.")
+
+
+if __name__ == "__main__":
+    main()

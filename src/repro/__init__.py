@@ -1,0 +1,52 @@
+"""repro: a full-system reproduction of "Latency Analysis of TCP on an
+ATM Network" (Wolman, Voelker, Thekkath; USENIX 1994).
+
+The package simulates the paper's entire measured system — a pair of
+DECstation 5000/200 workstations running a BSD 4.4 alpha TCP/IP stack
+over a FORE TCA-100 ATM network (or Ethernet) — as a deterministic
+discrete-event model with calibrated operation costs, and reproduces
+every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import run_round_trip
+    result = run_round_trip(size=200, network="atm")
+    print(result.mean_rtt_us)
+
+See README.md, DESIGN.md, and the examples/ directory.
+"""
+
+from repro.core.experiment import (
+    PAPER_SIZES,
+    RoundTripBenchmark,
+    RoundTripResult,
+    run_round_trip,
+)
+from repro.core.testbed import Testbed, build_atm_pair, build_ethernet_pair
+from repro.hw.costs import MachineCosts, decstation_5000_200, sun_3
+from repro.kern.config import ChecksumMode, KernelConfig, PcbLookup
+from repro.kern.host import Host
+from repro.sim.engine import Simulator
+from repro.udp.socket import UDPSocket
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChecksumMode",
+    "Host",
+    "KernelConfig",
+    "MachineCosts",
+    "PAPER_SIZES",
+    "PcbLookup",
+    "RoundTripBenchmark",
+    "RoundTripResult",
+    "Simulator",
+    "Testbed",
+    "UDPSocket",
+    "build_atm_pair",
+    "build_ethernet_pair",
+    "decstation_5000_200",
+    "run_round_trip",
+    "sun_3",
+    "__version__",
+]

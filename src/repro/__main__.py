@@ -1,0 +1,252 @@
+"""Command-line reproduction runner: ``python -m repro [table...]``.
+
+Regenerates the paper's tables and figures and prints them next to the
+published values.  With no arguments, everything is run; otherwise pass
+any of: table1 table2 table3 table4 table5 table6 table7 pcb mbuf sun3
+errors summary throughput profile calibration.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import paperdata
+from repro.core.breakdown import measure_breakdowns
+from repro.core.errorstudy import run_error_study
+from repro.core.experiment import PAPER_SIZES, run_round_trip
+from repro.core.microbench import (
+    copy_checksum_bench,
+    mbuf_alloc_bench,
+    pcb_search_bench,
+)
+from repro.core.report import ascii_chart, format_table, pct_change
+from repro.kern.config import ChecksumMode, KernelConfig
+
+ITER, WARM = 6, 2
+
+
+def _sweep(network="atm", config=None):
+    return {s: run_round_trip(size=s, network=network, config=config,
+                              iterations=ITER, warmup=WARM).mean_rtt_us
+            for s in PAPER_SIZES}
+
+
+def table1() -> None:
+    atm = _sweep()
+    eth = _sweep("ethernet")
+    rows = [(s, round(eth[s]), paperdata.TABLE1_ETHERNET_RTT[s],
+             round(atm[s]), paperdata.TABLE1_ATM_RTT[s],
+             round(pct_change(eth[s], atm[s])),
+             paperdata.TABLE1_DECREASE_PCT[s]) for s in PAPER_SIZES]
+    print(format_table(
+        "Table 1: ATM vs Ethernet round-trip times (us)",
+        ("size", "ether", "(paper)", "atm", "(paper)", "dec%", "(paper)"),
+        rows))
+
+
+def table2() -> None:
+    tx, _ = measure_breakdowns(iterations=ITER, warmup=WARM)
+    rows = []
+    for t in tx:
+        paper = dict(zip(paperdata.TABLE2_ROWS,
+                         paperdata.TABLE2_TRANSMIT[t.size]))
+        for name in ("user", "checksum", "mcopy", "segment", "ip", "atm",
+                     "total"):
+            rows.append((t.size, name, round(t.row(name), 1),
+                         paper[name]))
+    print(format_table("Table 2: transmit-side breakdown (us)",
+                       ("size", "layer", "sim", "paper"), rows, width=10))
+
+
+def table3() -> None:
+    _, rx = measure_breakdowns(iterations=ITER, warmup=WARM)
+    rows = []
+    for r in rx:
+        paper = dict(zip(paperdata.TABLE3_ROWS,
+                         paperdata.TABLE3_RECEIVE[r.size]))
+        for name in ("atm", "ipq", "ip", "checksum", "segment", "wakeup",
+                     "user", "total"):
+            rows.append((r.size, name, round(r.row(name), 1),
+                         paper[name]))
+    print(format_table("Table 3: receive-side breakdown (us)",
+                       ("size", "layer", "sim", "paper"), rows, width=10))
+
+
+def table4() -> None:
+    on = _sweep()
+    off = _sweep(config=KernelConfig(header_prediction=False))
+    rows = [(s, round(off[s]), paperdata.TABLE4_NO_PREDICTION[s],
+             round(on[s]), paperdata.TABLE4_PREDICTION[s],
+             round(pct_change(off[s], on[s]), 1)) for s in PAPER_SIZES]
+    print(format_table(
+        "Table 4: header prediction on vs off (us)",
+        ("size", "no-pred", "(paper)", "pred", "(paper)", "dec%"), rows))
+    print()
+    print(ascii_chart("Figure 1: Effects of Header Prediction",
+                      PAPER_SIZES,
+                      {"with prediction": [on[s] for s in PAPER_SIZES],
+                       "without prediction": [off[s]
+                                              for s in PAPER_SIZES]}))
+
+
+def table5() -> None:
+    points = copy_checksum_bench()
+    rows = []
+    for p in points:
+        paper = paperdata.TABLE5_COPY_CHECKSUM[p.size]
+        rows.append((p.size, round(p.ultrix_checksum), paper[0],
+                     round(p.ultrix_bcopy), paper[1],
+                     round(p.optimized_checksum), paper[3],
+                     round(p.integrated), paper[4],
+                     round(p.savings_when_integrated_pct), paper[5]))
+    print(format_table(
+        "Table 5: copy and checksum measurements (us)",
+        ("size", "ultrix", "(p)", "bcopy", "(p)", "opt", "(p)", "integ",
+         "(p)", "sav%", "(p)"), rows, width=8))
+    print()
+    print(ascii_chart(
+        "Figure 2: Copy and Checksum Measurements (us)",
+        [p.size for p in points],
+        {"copy & ULTRIX cksum": [p.ultrix_total for p in points],
+         "copy & optimized cksum": [p.ultrix_bcopy + p.optimized_checksum
+                                    for p in points],
+         "integrated copy & cksum": [p.integrated for p in points]}))
+
+
+def table6() -> None:
+    std = _sweep()
+    integ = _sweep(config=KernelConfig(
+        checksum_mode=ChecksumMode.INTEGRATED))
+    rows = [(s, round(std[s]), round(integ[s]),
+             paperdata.TABLE6_INTEGRATED[s],
+             round(pct_change(std[s], integ[s]), 1),
+             paperdata.TABLE6_SAVING_PCT[s]) for s in PAPER_SIZES]
+    print(format_table(
+        "Table 6: standard vs combined copy+checksum (us)",
+        ("size", "standard", "combined", "(paper)", "sav%", "(paper)"),
+        rows, width=10))
+
+
+def table7() -> None:
+    std = _sweep()
+    off = _sweep(config=KernelConfig(checksum_mode=ChecksumMode.OFF))
+    rows = [(s, round(std[s]), round(off[s]),
+             paperdata.TABLE7_NO_CHECKSUM[s],
+             round(pct_change(std[s], off[s]), 1),
+             paperdata.TABLE7_SAVING_PCT[s]) for s in PAPER_SIZES]
+    print(format_table(
+        "Table 7: with and without the TCP checksum (us)",
+        ("size", "cksum", "no-cksum", "(paper)", "sav%", "(paper)"),
+        rows, width=10))
+
+
+def pcb() -> None:
+    points = pcb_search_bench()
+    rows = [(p.entries, round(p.cost_us, 1)) for p in points]
+    print(format_table(
+        "PCB linear search (paper: 26us @ 20, 1280us @ 1000)",
+        ("entries", "cost_us"), rows))
+
+
+def mbuf() -> None:
+    mean = mbuf_alloc_bench()
+    print(f"mbuf allocate+free: {mean:.2f} us "
+          f"(paper: just over 7 us)")
+
+
+def sun3() -> None:
+    from repro.checksum import (Bcopy, IntegratedCopyChecksum,
+                                OptimizedChecksum)
+    from repro.hw import decstation_5000_200, sun_3 as sun3_costs
+    rows = []
+    for machine, paper in ((sun3_costs(), paperdata.SUN3_1KB),
+                           (decstation_5000_200(), paperdata.DEC_1KB)):
+        rows.append((machine.name[:12],
+                     round(OptimizedChecksum(machine).cost_us(1024)),
+                     paper[0],
+                     round(Bcopy(machine).cost_us(1024)), paper[1],
+                     round(IntegratedCopyChecksum(machine).cost_us(1024)),
+                     paper[2]))
+    print(format_table("§4.1: 1 KB copy/checksum scaling",
+                       ("machine", "cksum", "(p)", "copy", "(p)",
+                        "comb", "(p)"), rows, width=9))
+
+
+def throughput() -> None:
+    from repro.core.report import format_table
+    from repro.core.throughput import run_bulk_throughput
+    rows = []
+    for mode in ChecksumMode:
+        r = run_bulk_throughput(total_bytes=300_000, checksum_mode=mode)
+        rows.append((mode.value, round(r.goodput_mb_s, 2),
+                     round(r.receiver_cpu_busy_frac * 100),
+                     r.retransmits))
+    print(format_table("Bulk TCP goodput over ATM (300 KB one-way)",
+                       ("mode", "MB/s", "rx_cpu%", "rtx"), rows,
+                       width=11))
+
+
+def profile() -> None:
+    from repro.core.experiment import RoundTripBenchmark
+    from repro.core.profile import format_profile
+    from repro.core.testbed import build_atm_pair
+    for size in (80, 8000):
+        tb = build_atm_pair()
+        RoundTripBenchmark(tb, size=size, iterations=6, warmup=2).run()
+        print(format_profile(tb.server,
+                             f"receiver CPU profile, {size}-byte RPCs"))
+        print()
+
+
+def calibration() -> None:
+    from repro.core.calibration import calibration_report
+    print(calibration_report())
+
+
+def summary() -> None:
+    from repro.core.validation import validate_reproduction
+    print(validate_reproduction().format())
+
+
+def errors() -> None:
+    rows = []
+    for name, kwargs in (("noisy fiber", dict(p_link=0.15)),
+                         ("flaky controller", dict(p_controller=0.15)),
+                         ("gateway traffic", dict(p_gateway=0.15)),
+                         ("clean local", dict())):
+        r = run_error_study(size=1400, iterations=30, seed=99, **kwargs)
+        rows.append((name, r.total_injected, r.caught_by_link_check,
+                     r.caught_by_tcp_checksum, r.caught_by_application))
+    print(format_table("§4.2: error detection by layer (30 RPCs)",
+                       ("scenario", "injected", "link", "tcp", "app"),
+                       rows, width=13))
+
+
+SECTIONS = {
+    "table1": table1, "table2": table2, "table3": table3,
+    "table4": table4, "table5": table5, "table6": table6,
+    "table7": table7, "pcb": pcb, "mbuf": mbuf, "sun3": sun3,
+    "errors": errors, "summary": summary, "throughput": throughput,
+    "profile": profile, "calibration": calibration,
+}
+
+
+def main(argv) -> int:
+    names = argv[1:] or list(SECTIONS)
+    unknown = [n for n in names if n not in SECTIONS]
+    if unknown:
+        print(f"unknown section(s): {', '.join(unknown)}")
+        print(f"available: {' '.join(SECTIONS)}")
+        return 2
+    for i, name in enumerate(names):
+        if i:
+            print()
+        start = time.time()
+        SECTIONS[name]()
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

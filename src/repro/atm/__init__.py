@@ -1,0 +1,25 @@
+"""FORE TCA-100 ATM interface: AAL3/4, adapter+driver, fiber link."""
+
+from repro.atm.aal import (
+    CELL_PAYLOAD,
+    CELL_SIZE,
+    CPCS_OVERHEAD,
+    Aal34Codec,
+    Cell,
+    ReassemblyError,
+    cells_needed,
+)
+from repro.atm.adapter import AtmLink, AtmStats, ForeTca100
+
+__all__ = [
+    "Aal34Codec",
+    "AtmLink",
+    "AtmStats",
+    "CELL_PAYLOAD",
+    "CELL_SIZE",
+    "CPCS_OVERHEAD",
+    "Cell",
+    "ForeTca100",
+    "ReassemblyError",
+    "cells_needed",
+]

@@ -1,0 +1,261 @@
+"""The FORE TCA-100 ATM adapter, its driver, and the fiber link.
+
+Device properties modelled from the paper's description:
+
+* memory-mapped transmit FIFO holding 36 cells and receive FIFO holding
+  292 cells;
+* the transmit engine starts sending as soon as one complete cell is in
+  the FIFO — so wire transmission overlaps the driver's copy loop, and
+  (as §4.1.1 explains) the checksum cannot be deferred to the
+  kernel-to-device copy;
+* the driver and adapter implement AAL3/4 segmentation/reassembly with
+  per-cell CRC-10 error detection;
+* the adapter interrupts the host at end-of-message; the driver then
+  drains the whole cell train through slow uncached TurboChannel reads
+  (the dominant term in Table 3's ATM row).
+
+The transmit timing honours FIFO backpressure exactly: the driver's
+write of cell *k* stalls until cell *k−36* has left the wire.  With the
+calibrated copy rate (≈2.4 µs/cell) against the 140 Mb/s TAXI cell time
+(≈3.03 µs), the FIFO almost fills on an 8000-byte write but never quite
+stalls — consistent with the paper's measured transmit span.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.atm.aal import CELL_SIZE, cells_needed
+from repro.kern.config import ChecksumMode
+from repro.net.packet import Packet, verify_tcp_checksum
+from repro.sim.cpu import Priority
+from repro.sim.engine import us
+from repro.sim.resources import Semaphore
+
+__all__ = ["AtmLink", "ForeTca100", "AtmStats"]
+
+
+class AtmStats:
+    """Per-interface counters."""
+
+    __slots__ = ("packets_sent", "packets_received", "cells_sent",
+                 "cells_received", "tx_stall_ns", "rx_fifo_overflows",
+                 "aal_errors", "max_tx_fifo_cells", "max_rx_fifo_cells")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+
+class AtmLink:
+    """A point-to-point fiber between two TCA-100s (switchless, §1.2)."""
+
+    def __init__(self, sim, bandwidth_bps: int = 140_000_000,
+                 prop_delay_ns: int = 500):
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay_ns = prop_delay_ns
+        #: Time to clock one 53-byte cell onto the fiber.
+        self.cell_time_ns = int(round(CELL_SIZE * 8 * 1e9 / bandwidth_bps))
+        self.fault_injector = None  # set by fault experiments
+        self._ends: List["ForeTca100"] = []
+
+    def attach(self, adapter: "ForeTca100") -> None:
+        if len(self._ends) >= 2:
+            raise RuntimeError("ATM link already has two ends")
+        self._ends.append(adapter)
+        adapter.link = self
+
+    def peer_of(self, adapter: "ForeTca100") -> "ForeTca100":
+        if len(self._ends) != 2:
+            raise RuntimeError("ATM link is not fully connected")
+        return self._ends[1] if self._ends[0] is adapter else self._ends[0]
+
+
+class ForeTca100:
+    """One TCA-100 interface: adapter + ULTRIX driver, attached to a host."""
+
+    TX_FIFO_CELLS = 36
+    RX_FIFO_CELLS = 292
+
+    #: Reported to TCP for MSS selection (paper: ATM MTU of 9 KB).
+    mtu = 9188
+
+    def __init__(self, host):
+        self.host = host
+        self.link: Optional[AtmLink] = None
+        self.stats = AtmStats()
+        self._tx_lock = Semaphore(host.sim, value=1, name="atm-tx")
+        #: When the wire finishes clocking out the previous packet.
+        self._wire_free_at = 0
+        self._rx_fifo_cells = 0
+        host.attach_interface(self)
+
+    @property
+    def suggested_mss(self) -> int:
+        """The driver's configured TCP MSS (page-sized; see DESIGN.md)."""
+        return self.host.config.mss_atm
+
+    # ------------------------------------------------------------------
+    # Transmit
+    # ------------------------------------------------------------------
+    def output(self, packet: Packet, priority: int = Priority.KERNEL,
+               data_bearing: bool = True) -> Generator:
+        """Driver transmit: segment into cells and write to the TX FIFO."""
+        if self.link is None:
+            raise RuntimeError("ATM interface not attached to a link")
+        yield self._tx_lock.acquire()
+        try:
+            yield from self._transmit(packet, priority, data_bearing)
+        finally:
+            self._tx_lock.release()
+
+    def _transmit(self, packet: Packet, priority: int,
+                  data_bearing: bool) -> Generator:
+        sim = self.host.sim
+        costs = self.host.costs
+        link = self.link
+        n = cells_needed(len(packet.data))
+        span = "tx.atm" if data_bearing else "tx.ack.atm"
+
+        base_cost_ns = (us(costs.atm_tx_fixed_us)
+                        + us(costs.atm_tx_per_cell_us) * n
+                        + us(costs.atm_tx_per_mbuf_us) * packet.mbuf_count)
+        per_cell_write_ns = max(1, base_cost_ns // n)
+
+        # FIFO-backpressured write/drain schedule (all relative to now).
+        t0 = sim.now
+        wire_gate = max(t0, self._wire_free_at)
+        write_done: List[int] = [0] * (n + 1)   # W[k], 1-based
+        depart: List[int] = [0] * (n + 1)       # E[k]
+        prev_depart = wire_gate
+        max_occupancy = 0
+        for k in range(1, n + 1):
+            earliest = (write_done[k - 1] if k > 1 else t0) \
+                + per_cell_write_ns
+            if k > self.TX_FIFO_CELLS:
+                earliest = max(earliest, depart[k - self.TX_FIFO_CELLS])
+            write_done[k] = earliest
+            start_tx = max(write_done[k], prev_depart)
+            depart[k] = start_tx + link.cell_time_ns
+            prev_depart = depart[k]
+            in_fifo = k - sum(1 for j in range(1, k)
+                              if depart[j] <= write_done[k])
+            if in_fifo > max_occupancy:
+                max_occupancy = in_fifo
+
+        driver_busy_ns = write_done[n] - t0
+        stall_ns = driver_busy_ns - base_cost_ns
+        if stall_ns > 0:
+            self.stats.tx_stall_ns += stall_ns
+        self.stats.max_tx_fifo_cells = max(self.stats.max_tx_fifo_cells,
+                                           max_occupancy)
+
+        # The driver's copy loop (including any FIFO-full spinning) is
+        # CPU work in the caller's context; the span ends when the last
+        # byte has been handed to the adapter (paper §2.2).
+        yield from self.host.charge(driver_busy_ns, priority, "atm tx copy",
+                                    span=span)
+
+        # Wire delivery: the last cell reaches the peer a propagation
+        # delay after it finishes clocking out.  Under CPU preemption the
+        # actual copy may have finished later than the analytic schedule;
+        # never deliver before the copy is done.
+        analytic_last_arrival = depart[n] + link.prop_delay_ns
+        last_arrival = max(analytic_last_arrival,
+                           sim.now + link.cell_time_ns + link.prop_delay_ns)
+        self._wire_free_at = last_arrival - link.prop_delay_ns
+
+        self.stats.packets_sent += 1
+        self.stats.cells_sent += n
+
+        wire_bytes, wire_fault = self._apply_wire_faults(packet)
+        peer = link.peer_of(self)
+        sim.schedule(max(0, last_arrival - sim.now), peer.deliver,
+                     wire_bytes, n, wire_fault, data_bearing)
+
+    def _apply_wire_faults(self, packet: Packet):
+        """Link-stage fault injection on the serialized PDU.
+
+        Returns ``(pdu_bytes, outcome)`` where *outcome* is None or a
+        :class:`repro.faults.FaultOutcome` describing the corruption and
+        whether the AAL3/4 cell CRCs caught it.
+        """
+        injector = self.link.fault_injector
+        if injector is None:
+            return packet.data, None
+        return injector.apply_link(packet.data)
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+    def deliver(self, pdu: bytes, n_cells: int, wire_fault,
+                data_bearing: bool) -> None:
+        """Called at last-cell arrival: cells are in the RX FIFO."""
+        self._rx_fifo_cells += n_cells
+        self.stats.max_rx_fifo_cells = max(self.stats.max_rx_fifo_cells,
+                                           self._rx_fifo_cells)
+        if self._rx_fifo_cells > self.RX_FIFO_CELLS:
+            # FIFO overflow: the tail of this packet was lost.  TCP's
+            # retransmission timer recovers.
+            self._rx_fifo_cells -= n_cells
+            self.stats.rx_fifo_overflows += 1
+            return
+        self.host.sim.process(
+            self._rx_interrupt(pdu, n_cells, wire_fault, data_bearing),
+            name=f"{self.host.name}:atm-rx",
+        )
+
+    def _rx_interrupt(self, pdu: bytes, n_cells: int, wire_fault,
+                      data_bearing: bool) -> Generator:
+        host = self.host
+        costs = host.costs
+        arrived_at = host.sim.now
+        yield host.cpu.run(us(costs.intr_overhead_us),
+                           Priority.HARD_INTR, "atm intr")
+
+        integrated = (host.config.checksum_mode is ChecksumMode.INTEGRATED)
+        drain_cost = (us(costs.atm_rx_fixed_us)
+                      + us(costs.atm_rx_per_cell_us) * n_cells)
+        if integrated:
+            drain_cost += us(costs.atm_rx_integrated_fixed_us)
+            drain_cost += us(
+                costs.atm_rx_integrated_extra_per_cell_us) * n_cells
+        yield host.cpu.run(drain_cost, Priority.HARD_INTR, "atm rx drain")
+        self._rx_fifo_cells -= n_cells
+        self.stats.packets_received += 1
+        self.stats.cells_received += n_cells
+
+        span = "rx.atm" if data_bearing else "rx.ack.atm"
+        host.tracer.record_value(
+            span, (host.sim.now - arrived_at) / 1000.0)
+
+        # AAL3/4 error detection: the adapter checks per-cell CRC-10s
+        # and CPCS framing in hardware.  A wire fault the CRCs caught
+        # makes reassembly fail and the datagram vanish here; TCP's
+        # retransmission timer recovers.
+        if wire_fault is not None and wire_fault.detected_by_link_check:
+            self.stats.aal_errors += 1
+            return
+
+        packet = Packet(pdu)
+        packet.last_cell_arrival_ns = arrived_at
+        if wire_fault is not None:
+            packet.corrupted_by = wire_fault.source
+
+        # Controller-stage errors: introduced while moving cells from
+        # adapter memory to host mbufs, *after* the AAL CRC check — the
+        # paper's error source (2), which only the TCP checksum can see.
+        injector = self.link.fault_injector if self.link else None
+        if injector is not None:
+            new_pdu, tag = injector.apply_controller(packet.data)
+            if tag is not None:
+                packet = Packet(new_pdu)
+                packet.last_cell_arrival_ns = arrived_at
+                packet.corrupted_by = tag
+
+        if integrated:
+            # The driver folded TCP checksum verification into its
+            # device->mbuf copy; record the verdict for tcp_input.
+            packet.cksum_verified = verify_tcp_checksum(packet)
+        self.host.softnet.schednetisr(packet)

@@ -1,0 +1,153 @@
+"""The Internet (RFC 1071) 16-bit one's-complement checksum.
+
+This is a *functional* implementation: the simulated TCP/IP stack
+computes real checksums over real packet bytes, so corrupted data is
+actually detected (or missed) the way the real protocol would detect
+(or miss) it.  The *time cost* of checksumming on the modelled 1994
+hardware is a separate concern, handled by :mod:`repro.hw.costs`.
+
+The key property the paper's integrated copy+checksum relies on is that
+partial sums over chunks of a packet can be combined later — including
+chunks that start at odd offsets, whose byte-swapped contribution must
+be corrected when combining (RFC 1071 §2B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "raw_sum",
+    "fold",
+    "byte_swap16",
+    "combine",
+    "internet_checksum",
+    "verify",
+    "PartialChecksum",
+]
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+_EMPTY_U16 = np.zeros(0, dtype=">u2")
+
+
+def raw_sum(data: Buffer) -> int:
+    """The unfolded 16-bit-word sum of *data* (big-endian words).
+
+    An odd trailing byte is padded with a zero byte on the right, as if
+    the buffer were extended — the standard convention.
+    """
+    view = memoryview(data)
+    n = len(view)
+    if n == 0:
+        return 0
+    even = n & ~1
+    if even:
+        words = np.frombuffer(view[:even], dtype=">u2")
+        total = int(words.sum(dtype=np.uint64))
+    else:
+        total = 0
+    if n & 1:
+        total += view[n - 1] << 8
+    return total
+
+
+def fold(total: int) -> int:
+    """Fold a raw sum into 16 bits with end-around carry."""
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def byte_swap16(value16: int) -> int:
+    """Swap the bytes of a folded 16-bit sum.
+
+    A chunk summed as if it started on an even boundary, but actually
+    located at an odd offset in the packet, contributes its byte-swapped
+    sum (RFC 1071 §2B).
+    """
+    value16 &= 0xFFFF
+    return ((value16 << 8) | (value16 >> 8)) & 0xFFFF
+
+
+def combine(parts: Iterable[Tuple[int, int]]) -> int:
+    """Combine ``(raw_sum, byte_length)`` chunk sums into one raw sum.
+
+    Chunks must be given in packet order; each chunk's sum is the value
+    :func:`raw_sum` returned for its bytes considered in isolation.
+    Chunks beginning at an odd absolute offset are byte-swapped before
+    being added, which is exactly the fix-up the paper's socket-layer
+    partial checksums must perform.
+    """
+    offset = 0
+    total = 0
+    for part_sum, length in parts:
+        if offset & 1:
+            total += byte_swap16(fold(part_sum))
+        else:
+            total += part_sum
+        offset += length
+    return total
+
+
+def internet_checksum(data: Buffer, initial: int = 0) -> int:
+    """The Internet checksum of *data*: one's complement of the folded sum.
+
+    *initial* is an extra raw sum to include (e.g. a pseudo-header sum).
+    """
+    return ~fold(raw_sum(data) + initial) & 0xFFFF
+
+
+def verify(data: Buffer, initial: int = 0) -> bool:
+    """Check a buffer whose checksum field is filled in.
+
+    Summing a correct packet, checksum included, folds to 0xFFFF.
+    """
+    return fold(raw_sum(data) + initial) == 0xFFFF
+
+
+class PartialChecksum:
+    """Accumulates per-chunk sums for later combination.
+
+    Mirrors the paper's transmit-side scheme: the socket layer checksums
+    each chunk as it copies user data into an mbuf and stores the partial
+    sum in the mbuf header; TCP later combines the partials — but only if
+    every chunk falls entirely inside one segment.
+    """
+
+    __slots__ = ("_parts", "_length")
+
+    def __init__(self) -> None:
+        self._parts: list = []
+        self._length = 0
+
+    @property
+    def length(self) -> int:
+        """Total bytes accumulated so far."""
+        return self._length
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._parts)
+
+    def add_chunk(self, data: Buffer) -> int:
+        """Sum one chunk (as the copy loop would); returns its raw sum."""
+        part = raw_sum(data)
+        self._parts.append((part, len(data)))
+        self._length += len(data)
+        return part
+
+    def add_raw(self, part_sum: int, length: int) -> None:
+        """Record a chunk sum computed elsewhere (e.g. stored in an mbuf)."""
+        self._parts.append((int(part_sum), int(length)))
+        self._length += length
+
+    def raw_total(self) -> int:
+        """Combined raw sum of all chunks, with odd-offset fix-ups."""
+        return combine(self._parts)
+
+    def checksum(self, initial: int = 0) -> int:
+        """Finished Internet checksum over all chunks plus *initial*."""
+        return ~fold(self.raw_total() + initial) & 0xFFFF

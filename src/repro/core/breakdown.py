@@ -1,0 +1,125 @@
+"""Transmit/receive latency breakdowns (Tables 2 and 3).
+
+The harness runs the round-trip benchmark and aggregates the kernel's
+span instrumentation per transfer: the client's transmit-side spans form
+Table 2 rows, the server's receive-side spans form Table 3 rows.  Spans
+are per-transfer *sums* (a two-segment 8000-byte transfer contributes
+both segments), which matches the paper everywhere except some rows of
+its 8000-byte receive column — see EXPERIMENTS.md for the attribution
+discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.experiment import PAPER_SIZES, run_round_trip
+from repro.hw.costs import MachineCosts
+from repro.kern.config import KernelConfig
+
+__all__ = ["TransmitBreakdown", "ReceiveBreakdown", "measure_breakdowns"]
+
+#: Span-name mapping for the transmit side (Table 2 row -> span).
+TX_SPANS = {
+    "user": "tx.user",
+    "checksum": "tx.tcp.checksum",
+    "mcopy": "tx.tcp.mcopy",
+    "segment": "tx.tcp.segment",
+    "ip": "tx.ip",
+    "atm": "tx.atm",
+}
+
+#: Span-name mapping for the receive side (Table 3 row -> span).
+RX_SPANS = {
+    "atm": "rx.atm",
+    "ipq": "rx.ipq",
+    "ip": "rx.ip",
+    "checksum": "rx.tcp.checksum",
+    "segment": "rx.tcp.segment",
+    "wakeup": "rx.wakeup",
+    "user": "rx.user",
+}
+
+
+@dataclass
+class TransmitBreakdown:
+    """One Table 2 column: per-transfer transmit-side costs (µs)."""
+
+    size: int
+    user: float
+    checksum: float
+    mcopy: float
+    segment: float
+    ip: float
+    atm: float
+
+    @property
+    def tcp_total(self) -> float:
+        return self.checksum + self.mcopy + self.segment
+
+    @property
+    def total(self) -> float:
+        return (self.user + self.tcp_total + self.ip + self.atm)
+
+    def row(self, name: str) -> float:
+        if name == "total":
+            return self.total
+        return getattr(self, name)
+
+
+@dataclass
+class ReceiveBreakdown:
+    """One Table 3 column: per-transfer receive-side costs (µs)."""
+
+    size: int
+    atm: float
+    ipq: float
+    ip: float
+    checksum: float
+    segment: float
+    wakeup: float
+    user: float
+
+    @property
+    def tcp_total(self) -> float:
+        return self.checksum + self.segment
+
+    @property
+    def total(self) -> float:
+        return (self.atm + self.ipq + self.ip + self.tcp_total
+                + self.wakeup + self.user)
+
+    def row(self, name: str) -> float:
+        if name == "total":
+            return self.total
+        return getattr(self, name)
+
+
+def measure_breakdowns(sizes: Optional[List[int]] = None,
+                       config: Optional[KernelConfig] = None,
+                       costs: Optional[MachineCosts] = None,
+                       network: str = "atm",
+                       iterations: int = 8, warmup: int = 2):
+    """Run the benchmark per size and return (tx_rows, rx_rows)."""
+    sizes = sizes if sizes is not None else PAPER_SIZES
+    tx_rows: List[TransmitBreakdown] = []
+    rx_rows: List[ReceiveBreakdown] = []
+    tx_spans = dict(TX_SPANS)
+    rx_spans = dict(RX_SPANS)
+    if network == "ethernet":
+        tx_spans["atm"] = "tx.ether"
+        rx_spans["atm"] = "rx.ether"
+    for size in sizes:
+        result = run_round_trip(size=size, network=network, config=config,
+                                costs=costs, iterations=iterations,
+                                warmup=warmup)
+        tx_rows.append(TransmitBreakdown(size=size, **{
+            row: result.span_per_transfer("client", span)
+            for row, span in tx_spans.items()
+        }))
+        rx_rows.append(ReceiveBreakdown(size=size, **{
+            row: result.span_per_transfer("server", span)
+            for row, span in rx_spans.items()
+        }))
+    return tx_rows, rx_rows

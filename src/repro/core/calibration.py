@@ -1,0 +1,100 @@
+"""Calibration provenance: re-derive the cost constants from the paper.
+
+DESIGN.md's central claim is that only *primitive operation costs* are
+calibrated, and that those constants come from the paper's own
+microbenchmarks.  This module makes that auditable: it fits the linear
+cost models to the published Table 5 rows (and the §3 PCB line) by
+least squares, so anyone can verify that the constants baked into
+:mod:`repro.hw.costs` are the fits and not reverse-engineered from the
+round-trip tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import paperdata
+from repro.hw.costs import LinearCost, MachineCosts, decstation_5000_200
+
+__all__ = ["FittedLine", "fit_line", "fit_table5", "fit_pcb_line",
+           "calibration_report"]
+
+
+@dataclass
+class FittedLine:
+    """A least-squares ``fixed + per_byte * n`` fit with fit quality."""
+
+    name: str
+    fixed_us: float
+    per_byte_us: float
+    max_residual_us: float
+    r_squared: float
+
+    def as_cost(self) -> LinearCost:
+        return LinearCost(round(self.fixed_us, 2),
+                          round(self.per_byte_us, 5))
+
+
+def fit_line(name: str, points: List[Tuple[int, float]]) -> FittedLine:
+    """Least-squares fit of (size, microseconds) points."""
+    xs = np.array([p[0] for p in points], dtype=float)
+    ys = np.array([p[1] for p in points], dtype=float)
+    a = np.vstack([np.ones_like(xs), xs]).T
+    (fixed, slope), *_ = np.linalg.lstsq(a, ys, rcond=None)
+    predicted = fixed + slope * xs
+    residuals = ys - predicted
+    ss_res = float(np.sum(residuals ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2)) or 1.0
+    return FittedLine(
+        name=name,
+        fixed_us=float(fixed),
+        per_byte_us=float(slope),
+        max_residual_us=float(np.max(np.abs(residuals))),
+        r_squared=1.0 - ss_res / ss_tot,
+    )
+
+
+def fit_table5() -> Dict[str, FittedLine]:
+    """Fit all four Table 5 algorithm columns."""
+    columns = {
+        "cksum_ultrix": 0,
+        "bcopy": 1,
+        "cksum_optimized": 3,
+        "copy_cksum_integrated": 4,
+    }
+    out = {}
+    for name, index in columns.items():
+        points = [(size, row[index])
+                  for size, row in paperdata.TABLE5_COPY_CHECKSUM.items()]
+        out[name] = fit_line(name, points)
+    return out
+
+
+def fit_pcb_line() -> FittedLine:
+    """Fit the §3 PCB search points (20 -> 26 µs, 1000 -> 1280 µs)."""
+    return fit_line("pcb_search", paperdata.PCB_SEARCH_POINTS)
+
+
+def calibration_report(machine: MachineCosts = None) -> str:
+    """Fits vs the constants actually baked into the cost model."""
+    machine = machine if machine is not None else decstation_5000_200()
+    lines = ["Calibration provenance (least-squares fits of the paper's",
+             "microbenchmarks vs the constants in repro.hw.costs)",
+             "-" * 64]
+    for name, fit in fit_table5().items():
+        baked: LinearCost = getattr(machine, name)
+        lines.append(
+            f"{name:>22}: fit {fit.fixed_us:6.2f} + "
+            f"{fit.per_byte_us:.4f}/B  "
+            f"baked {baked.fixed_us:6.2f} + {baked.per_byte_us:.4f}/B  "
+            f"(R^2={fit.r_squared:.4f})")
+    pcb = fit_pcb_line()
+    lines.append(
+        f"{'pcb_search':>22}: fit {pcb.fixed_us:6.2f} + "
+        f"{pcb.per_byte_us:.4f}/entry  "
+        f"baked {machine.pcb_search_fixed_us:6.2f} + "
+        f"{machine.pcb_search_per_entry_us:.4f}/entry")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""The paper's published numbers, table by table.
+
+Every value in this module is transcribed from Wolman, Voelker &
+Thekkath, "Latency Analysis of TCP on an ATM Network" (USENIX 1994).
+The benchmark harness compares simulated results against these.
+All times are microseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "SIZES",
+    "TABLE1_ETHERNET_RTT",
+    "TABLE1_ATM_RTT",
+    "TABLE1_DECREASE_PCT",
+    "TABLE2_TRANSMIT",
+    "TABLE3_RECEIVE",
+    "TABLE4_NO_PREDICTION",
+    "TABLE4_PREDICTION",
+    "TABLE5_COPY_CHECKSUM",
+    "TABLE6_STANDARD",
+    "TABLE6_INTEGRATED",
+    "TABLE6_SAVING_PCT",
+    "TABLE7_CHECKSUM",
+    "TABLE7_NO_CHECKSUM",
+    "TABLE7_SAVING_PCT",
+    "PCB_SEARCH_POINTS",
+    "MBUF_ALLOC_FREE_US",
+    "SUN3_1KB",
+    "DEC_1KB",
+    "INTEGRATED_BANDWIDTH_MB_S",
+]
+
+#: The transfer sizes used throughout the evaluation.
+SIZES: List[int] = [4, 20, 80, 200, 500, 1400, 4000, 8000]
+
+# ---------------------------------------------------------------------------
+# Table 1: ATM vs Ethernet round-trip times.
+# ---------------------------------------------------------------------------
+TABLE1_ETHERNET_RTT: Dict[int, float] = {
+    4: 1940, 20: 2337, 80: 2590, 200: 2804,
+    500: 4101, 1400: 6554, 4000: 13168, 8000: 22141,
+}
+TABLE1_ATM_RTT: Dict[int, float] = {
+    4: 1021, 20: 1039, 80: 1289, 200: 1520,
+    500: 2140, 1400: 2976, 4000: 5891, 8000: 10636,
+}
+TABLE1_DECREASE_PCT: Dict[int, float] = {
+    4: 47, 20: 55, 80: 50, 200: 45, 500: 47, 1400: 54, 4000: 55, 8000: 52,
+}
+
+# ---------------------------------------------------------------------------
+# Table 2: transmit-side breakdown.
+# Row order: (user, checksum, mcopy, segment, ip, atm, total)
+# ---------------------------------------------------------------------------
+TABLE2_TRANSMIT: Dict[int, Tuple[float, ...]] = {
+    4:    (45, 10, 5.1, 62, 35, 23, 180),
+    20:   (45, 12, 5.7, 65, 34, 24, 184),
+    80:   (48, 23, 26, 63, 35, 39, 234),
+    200:  (67, 42, 41, 65, 35, 47, 297),
+    500:  (121, 90, 80, 71, 36, 71, 469),
+    1400: (99, 209, 29, 63, 36, 96, 532),
+    4000: (174, 576, 30, 65, 38, 215, 1098),
+    8000: (400, 1149, 41, 72, 36, 498, 2196),
+}
+TABLE2_ROWS = ("user", "checksum", "mcopy", "segment", "ip", "atm", "total")
+
+# ---------------------------------------------------------------------------
+# Table 3: receive-side breakdown.
+# Row order: (atm, ipq, ip, checksum, segment, wakeup, user, total)
+# ---------------------------------------------------------------------------
+TABLE3_RECEIVE: Dict[int, Tuple[float, ...]] = {
+    4:    (46, 22, 40, 10, 135, 46, 64, 363),
+    20:   (46, 22, 40, 12, 135, 47, 65, 367),
+    80:   (70, 22, 62, 23, 138, 47, 89, 451),
+    200:  (99, 22, 62, 40, 141, 50, 81, 495),
+    500:  (164, 23, 62, 82, 158, 49, 102, 640),
+    1400: (363, 45, 53, 211, 142, 51, 124, 989),
+    4000: (920, 46, 54, 578, 143, 58, 199, 1998),
+    8000: (1783, 50, 43, 1172, 59, 67, 468, 3642),
+}
+TABLE3_ROWS = ("atm", "ipq", "ip", "checksum", "segment", "wakeup", "user",
+               "total")
+
+# ---------------------------------------------------------------------------
+# Table 4 / Figure 1: header prediction.
+# ---------------------------------------------------------------------------
+TABLE4_NO_PREDICTION: Dict[int, float] = {
+    4: 1110, 20: 1127, 80: 1324, 200: 1560,
+    500: 2186, 1400: 2962, 4000: 5950, 8000: 11477,
+}
+TABLE4_PREDICTION: Dict[int, float] = TABLE1_ATM_RTT
+
+# ---------------------------------------------------------------------------
+# Table 5 / Figure 2: user-level copy & checksum measurements.
+# Columns: (ultrix_cksum, ultrix_bcopy, ultrix_total, optimized_cksum,
+#           integrated, savings_pct)
+# ---------------------------------------------------------------------------
+TABLE5_COPY_CHECKSUM: Dict[int, Tuple[float, ...]] = {
+    4:    (5, 4, 9, 3, 3, 57),
+    20:   (7, 5, 12, 4, 5, 44),
+    80:   (20, 11, 31, 9, 10, 50),
+    200:  (43, 20, 63, 21, 24, 41),
+    500:  (104, 47, 151, 49, 56, 42),
+    1400: (283, 124, 407, 134, 153, 41),
+    4000: (807, 350, 1157, 378, 430, 41),
+    8000: (1605, 698, 2303, 754, 864, 40),
+}
+
+# ---------------------------------------------------------------------------
+# Table 6: standard vs combined copy+checksum kernels.
+# ---------------------------------------------------------------------------
+TABLE6_STANDARD: Dict[int, float] = TABLE1_ATM_RTT
+TABLE6_INTEGRATED: Dict[int, float] = {
+    4: 1249, 20: 1256, 80: 1477, 200: 1707,
+    500: 2222, 1400: 2691, 4000: 4644, 8000: 8062,
+}
+TABLE6_SAVING_PCT: Dict[int, float] = {
+    4: -22, 20: -21, 80: -15, 200: -12,
+    500: -3.8, 1400: 10, 4000: 21, 8000: 24,
+}
+
+# ---------------------------------------------------------------------------
+# Table 7: with vs without the TCP checksum.
+# ---------------------------------------------------------------------------
+TABLE7_CHECKSUM: Dict[int, float] = TABLE1_ATM_RTT
+TABLE7_NO_CHECKSUM: Dict[int, float] = {
+    4: 1020, 20: 1020, 80: 1233, 200: 1392,
+    500: 1808, 1400: 2083, 4000: 3633, 8000: 6233,
+}
+TABLE7_SAVING_PCT: Dict[int, float] = {
+    4: 0.1, 20: 1.8, 80: 4.3, 200: 8.4,
+    500: 16, 1400: 30, 4000: 38, 8000: 41,
+}
+
+# ---------------------------------------------------------------------------
+# §3 in-text: PCB search cost (entries, microseconds); ~1.3 us/entry.
+# ---------------------------------------------------------------------------
+PCB_SEARCH_POINTS: List[Tuple[int, float]] = [(20, 26), (1000, 1280)]
+PCB_COST_PER_ENTRY_US = 1.3
+
+# §2.2.1 in-text: mbuf allocate+free "just over 7 us".
+MBUF_ALLOC_FREE_US = 7.0
+
+# §4.1 in-text: 1 KB copy/checksum costs on the two platforms
+# (checksum, copy, combined).
+SUN3_1KB = (130.0, 140.0, 200.0)
+DEC_1KB = (96.0, 91.0, 111.0)
+
+# §4.1 in-text: effective bandwidth of the integrated loop.
+INTEGRATED_BANDWIDTH_MB_S = 9.0

@@ -1,0 +1,117 @@
+"""Report formatting: the paper's tables and figures as text.
+
+Figures 1 and 2 of the paper are line plots of data that also appears in
+Tables 4 and 5; here they are rendered as ASCII charts so the benchmark
+harness regenerates *every* table and figure without a display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_comparison_table", "ascii_chart",
+           "pct_change"]
+
+
+def pct_change(base: float, new: float) -> float:
+    """Percentage decrease from *base* to *new* (positive = improvement)."""
+    if base == 0:
+        return 0.0
+    return (1 - new / base) * 100.0
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], width: int = 9) -> str:
+    """A simple fixed-width table."""
+    lines = [title, "-" * max(len(title), width * len(headers))]
+    lines.append("".join(f"{h:>{width}}" for h in headers))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>{width}.1f}")
+            else:
+                cells.append(f"{value:>{width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_comparison_table(title: str, sizes: Sequence[int],
+                            columns: Dict[str, Dict[int, float]],
+                            paper: Optional[Dict[str, Dict[int, float]]]
+                            = None) -> str:
+    """Side-by-side measured (and optionally paper) columns per size."""
+    headers = ["size"]
+    for name in columns:
+        headers.append(name)
+        if paper and name in paper:
+            headers.append(f"{name}(paper)")
+    rows = []
+    for size in sizes:
+        row: List = [size]
+        for name, col in columns.items():
+            row.append(col.get(size, float("nan")))
+            if paper and name in paper:
+                row.append(paper[name].get(size, float("nan")))
+        rows.append(row)
+    return format_table(title, headers, rows, width=max(
+        12, max(len(h) + 2 for h in headers)))
+
+
+def ascii_chart(title: str, x_labels: Sequence,
+                series: Dict[str, Sequence[float]],
+                height: int = 16, width: int = 64) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    The x axis is categorical (the paper's size buckets), matching the
+    original figures' equally spaced size labels.
+    """
+    if not series:
+        raise ValueError("ascii_chart requires at least one series")
+    n = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n:
+            raise ValueError(f"series {name!r} length != x_labels length")
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    marks = "*+o#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    xpos = [int(i * (width - 1) / max(1, n - 1)) for i in range(n)]
+
+    def ypos(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for s_idx, (name, values) in enumerate(series.items()):
+        mark = marks[s_idx % len(marks)]
+        # connect consecutive points with interpolated marks
+        for i in range(n - 1):
+            x0, y0 = xpos[i], ypos(values[i])
+            x1, y1 = xpos[i + 1], ypos(values[i + 1])
+            steps = max(abs(x1 - x0), 1)
+            for t in range(steps + 1):
+                x = x0 + (x1 - x0) * t // steps
+                y = y0 + (y1 - y0) * t // steps
+                grid[y][x] = mark
+        for i in range(n):
+            grid[ypos(values[i])][xpos[i]] = mark
+
+    lines = [title]
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} {name}"
+        for i, name in enumerate(series))
+    lines.append(legend)
+    lines.append(f"{hi:>10.0f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:>10.0f} +" + "-" * width)
+    label_line = [" "] * width
+    for i, lab in enumerate(x_labels):
+        text = str(lab)
+        start = min(xpos[i], width - len(text))
+        for j, ch in enumerate(text):
+            label_line[start + j] = ch
+    lines.append(" " * 12 + "".join(label_line))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Testbed builders: pairs of hosts on a private network.
+
+The paper's setup (§1.1-1.2): two DECstation 5000/200s, otherwise idle,
+on a switchless private ATM network — or on Ethernet for the Table 1
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.atm.adapter import AtmLink, ForeTca100
+from repro.ethernet.adapter import EthernetLink, LanceEthernet
+from repro.hw.costs import MachineCosts
+from repro.kern.config import KernelConfig
+from repro.kern.host import Host
+from repro.sim.engine import Simulator
+
+__all__ = ["Testbed", "build_atm_pair", "build_ethernet_pair"]
+
+
+class Testbed:
+    """Two hosts and the link between them."""
+
+    def __init__(self, sim: Simulator, client: Host, server: Host, link):
+        self.sim = sim
+        self.client = client
+        self.server = server
+        self.link = link
+
+    @property
+    def hosts(self):
+        return (self.client, self.server)
+
+    def __repr__(self) -> str:
+        return (f"<Testbed {type(self.link).__name__} "
+                f"{self.client.name}<->{self.server.name}>")
+
+
+def _make_pair(config: Optional[KernelConfig],
+               costs: Optional[MachineCosts]):
+    sim = Simulator()
+    client = Host(sim, "client", "10.0.0.1", costs=costs, config=config)
+    server = Host(sim, "server", "10.0.0.2", costs=costs, config=config)
+    return sim, client, server
+
+
+def build_atm_pair(config: Optional[KernelConfig] = None,
+                   costs: Optional[MachineCosts] = None,
+                   bandwidth_bps: int = 140_000_000,
+                   prop_delay_ns: int = 500) -> Testbed:
+    """Two workstations with FORE TCA-100s on a private fiber."""
+    sim, client, server = _make_pair(config, costs)
+    link = AtmLink(sim, bandwidth_bps=bandwidth_bps,
+                   prop_delay_ns=prop_delay_ns)
+    link.attach(ForeTca100(client))
+    link.attach(ForeTca100(server))
+    return Testbed(sim, client, server, link)
+
+
+def build_ethernet_pair(config: Optional[KernelConfig] = None,
+                        costs: Optional[MachineCosts] = None,
+                        bandwidth_bps: int = 10_000_000,
+                        prop_delay_ns: int = 1000) -> Testbed:
+    """Two workstations on a private 10 Mb/s Ethernet."""
+    sim, client, server = _make_pair(config, costs)
+    link = EthernetLink(sim, bandwidth_bps=bandwidth_bps,
+                        prop_delay_ns=prop_delay_ns)
+    link.attach(LanceEthernet(client))
+    link.attach(LanceEthernet(server))
+    return Testbed(sim, client, server, link)

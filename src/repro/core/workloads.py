@@ -1,0 +1,137 @@
+"""RPC traffic-mix workloads (§1.2's size-selection rationale).
+
+The paper chose its sizes "based upon previous studies of RPC and TCP
+traffic behavior ... a variety of packet lengths sized 500 bytes and
+smaller" [Bershad et al.'s LRPC study; Kay & Pasquale's traffic
+analysis].  This module provides those distributions as runnable
+workloads: a mix is a weighted set of (request, reply) sizes, and the
+harness measures the *weighted mean* round-trip latency a kernel
+configuration delivers for it — the number an RPC system designer would
+actually compare kernels by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import SERVER_PORT, payload_pattern
+from repro.core.testbed import build_atm_pair, build_ethernet_pair
+from repro.kern.config import KernelConfig
+
+__all__ = ["RPCMix", "MixResult", "LRPC_MIX", "NFS_MIX", "BULKY_MIX",
+           "run_mix"]
+
+
+@dataclass(frozen=True)
+class RPCCall:
+    """One call class: request/reply sizes plus its share of traffic."""
+
+    request: int
+    reply: int
+    weight: float
+
+
+@dataclass(frozen=True)
+class RPCMix:
+    """A named traffic mix."""
+
+    name: str
+    calls: Tuple[RPCCall, ...]
+
+    def normalized(self) -> List[RPCCall]:
+        total = sum(c.weight for c in self.calls)
+        return [RPCCall(c.request, c.reply, c.weight / total)
+                for c in self.calls]
+
+
+#: Small-argument RPC dominance, after the LRPC observation that the
+#: vast majority of calls move little data.
+LRPC_MIX = RPCMix("lrpc-small", (
+    RPCCall(request=32, reply=32, weight=0.55),
+    RPCCall(request=32, reply=200, weight=0.25),
+    RPCCall(request=200, reply=500, weight=0.15),
+    RPCCall(request=500, reply=1400, weight=0.05),
+))
+
+#: NFS-flavoured: lookups and getattrs plus 8 KB reads.
+NFS_MIX = RPCMix("nfs-like", (
+    RPCCall(request=120, reply=120, weight=0.5),
+    RPCCall(request=120, reply=500, weight=0.2),
+    RPCCall(request=120, reply=8000, weight=0.3),
+))
+
+#: A bulk-leaning mix where the checksum work dominates.
+BULKY_MIX = RPCMix("bulk-heavy", (
+    RPCCall(request=200, reply=4000, weight=0.5),
+    RPCCall(request=4000, reply=8000, weight=0.5),
+))
+
+
+@dataclass
+class MixResult:
+    """Weighted-mean latency for one mix under one configuration."""
+
+    mix: str
+    weighted_mean_us: float
+    per_call_us: Dict[Tuple[int, int], float]
+
+
+def run_mix(mix: RPCMix, config: Optional[KernelConfig] = None,
+            network: str = "atm", iterations: int = 5,
+            warmup: int = 2) -> MixResult:
+    """Measure every call class in the mix on one connection and return
+    the weighted mean (call classes interleave on the same connection,
+    like real RPC traffic on a cached binding)."""
+    if network == "atm":
+        tb = build_atm_pair(config=config)
+    elif network == "ethernet":
+        tb = build_ethernet_pair(config=config)
+    else:
+        raise ValueError(f"unknown network {network!r}")
+
+    calls = mix.normalized()
+    schedule: List[Tuple[int, RPCCall]] = []
+    for _ in range(warmup):
+        for call in calls:
+            schedule.append((0, call))  # warmup pass, unmeasured
+    for _ in range(iterations):
+        for call in calls:
+            schedule.append((1, call))
+
+    samples: Dict[Tuple[int, int], List[float]] = {
+        (c.request, c.reply): [] for c in calls}
+
+    def server(listener):
+        child = yield from listener.accept()
+        for _measured, call in schedule:
+            request = yield from child.recv(call.request, exact=True)
+            if len(request) < call.request:
+                return
+            yield from child.send(payload_pattern(call.reply, seed=1))
+
+    def client():
+        sock = tb.client.socket()
+        yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+        clock = tb.client.clock
+        for measured, call in schedule:
+            t0 = clock.read_ticks()
+            yield from sock.send(payload_pattern(call.request))
+            reply = yield from sock.recv(call.reply, exact=True)
+            assert len(reply) == call.reply
+            if measured:
+                samples[(call.request, call.reply)].append(
+                    clock.delta_us(t0, clock.read_ticks()))
+
+    listener = tb.server.socket()
+    listener.listen(SERVER_PORT)
+    tb.server.spawn(server(listener), name="mix-server")
+    done = tb.client.spawn(client(), name="mix-client")
+    tb.sim.run_until_triggered(done)
+
+    per_call = {key: sum(vals) / len(vals)
+                for key, vals in samples.items()}
+    weighted = sum(per_call[(c.request, c.reply)] * c.weight
+                   for c in calls)
+    return MixResult(mix=mix.name, weighted_mean_us=weighted,
+                     per_call_us=per_call)

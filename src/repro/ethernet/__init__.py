@@ -1,0 +1,5 @@
+"""LANCE Ethernet interface and link (Table 1 baseline)."""
+
+from repro.ethernet.adapter import EthernetLink, EthernetStats, LanceEthernet
+
+__all__ = ["EthernetLink", "EthernetStats", "LanceEthernet"]

@@ -1,0 +1,5 @@
+"""Fault injection: bit errors by source, with real CRC detection."""
+
+from repro.faults.injector import FaultInjector, FaultOutcome, FaultStats
+
+__all__ = ["FaultInjector", "FaultOutcome", "FaultStats"]

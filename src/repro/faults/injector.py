@@ -1,0 +1,158 @@
+"""Fault injection for the §4.2 error-detection analysis.
+
+The paper enumerates four sources of errors a TCP checksum layered over
+a link CRC might catch:
+
+1. switch errors — not applicable here (AAL payload CRCs are end-to-end
+   and our testbed is switchless, like the paper's);
+2. **controller errors** — introduced while moving data between adapter
+   and host memory, *after* the link check: only the TCP checksum (or
+   the application) can see them;
+3. **gateway-injected errors** — corrupt data that enters the network
+   with *valid* link-level checksums: again invisible to the link check;
+4. **link errors** — bit errors on the fiber/wire: caught by the AAL3/4
+   cell CRC-10s (or the Ethernet FCS) except for the rare patterns a
+   CRC cannot distinguish.
+
+The injector flips real bits and lets the real CRC implementations
+decide detectability, so the experiment's "how many errors does each
+layer catch" numbers come from actual error-detection math.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.atm.aal import Aal34Codec, ReassemblyError
+
+__all__ = ["FaultOutcome", "FaultInjector", "FaultStats"]
+
+
+@dataclass
+class FaultOutcome:
+    """What happened to one corrupted transmission unit."""
+
+    source: str                     #: 'link', 'controller', or 'gateway'
+    bits_flipped: int
+    detected_by_link_check: bool    #: AAL CRC-10 / Ethernet FCS caught it
+
+
+class FaultStats:
+    """Counters per error source and detection layer."""
+
+    __slots__ = ("injected_link", "injected_controller", "injected_gateway",
+                 "link_check_caught", "link_check_missed")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _flip_bits(data: bytes, rng: random.Random, nbits: int) -> bytes:
+    buf = bytearray(data)
+    for _ in range(nbits):
+        bit = rng.randrange(len(buf) * 8)
+        buf[bit // 8] ^= 1 << (bit % 8)
+    return bytes(buf)
+
+
+class FaultInjector:
+    """Per-packet fault model attached to a link.
+
+    Probabilities are per packet (the experiment harness converts bit
+    error rates and traffic mixes into these).
+    """
+
+    def __init__(self, seed: int = 1994,
+                 p_link: float = 0.0,
+                 p_controller: float = 0.0,
+                 p_gateway: float = 0.0,
+                 bits_per_fault: int = 1):
+        for name, p in (("p_link", p_link), ("p_controller", p_controller),
+                        ("p_gateway", p_gateway)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if bits_per_fault < 1:
+            raise ValueError("bits_per_fault must be >= 1")
+        self.rng = random.Random(seed)
+        self.p_link = p_link
+        self.p_controller = p_controller
+        self.p_gateway = p_gateway
+        self.bits_per_fault = bits_per_fault
+        self.stats = FaultStats()
+
+    # ------------------------------------------------------------------
+    # Transmit-side stages
+    # ------------------------------------------------------------------
+    def apply_link(self, pdu: bytes,
+                   frame_check: Optional[Callable[[bytes], int]] = None,
+                   ) -> Tuple[bytes, Optional[FaultOutcome]]:
+        """Gateway- and link-stage corruption for one datagram.
+
+        Without *frame_check* the link is ATM: corruption hits a random
+        cell of the AAL3/4 train and the real CRC-10s decide detection.
+        With *frame_check* (Ethernet) the FCS over the original frame is
+        compared against the corrupted frame.
+        """
+        outcome: Optional[FaultOutcome] = None
+        if self.p_gateway and self.rng.random() < self.p_gateway:
+            # Enters the network already corrupt, with valid link checks.
+            pdu = _flip_bits(pdu, self.rng, self.bits_per_fault)
+            self.stats.injected_gateway += 1
+            self.stats.link_check_missed += 1
+            outcome = FaultOutcome("gateway", self.bits_per_fault,
+                                   detected_by_link_check=False)
+        if self.p_link and self.rng.random() < self.p_link:
+            self.stats.injected_link += 1
+            if frame_check is not None:
+                corrupted = _flip_bits(pdu, self.rng, self.bits_per_fault)
+                detected = frame_check(corrupted) != frame_check(pdu)
+                pdu = corrupted
+            else:
+                pdu, detected = self._corrupt_atm_cells(pdu)
+            if detected:
+                self.stats.link_check_caught += 1
+            else:
+                self.stats.link_check_missed += 1
+            outcome = FaultOutcome("link", self.bits_per_fault,
+                                   detected_by_link_check=detected)
+        return pdu, outcome
+
+    def _corrupt_atm_cells(self, pdu: bytes) -> Tuple[bytes, bool]:
+        """Flip bits inside a real AAL3/4 cell train; returns the PDU the
+        receiver would reassemble (or the corrupt one) and whether the
+        cell CRC-10s caught the corruption."""
+        cells = Aal34Codec.segment(pdu)
+        for _ in range(self.bits_per_fault):
+            cell = self.rng.choice(cells)
+            # 352 payload bits + 10 CRC bits per cell are exposed.
+            bit = self.rng.randrange(len(cell.payload) * 8 + 10)
+            if bit < len(cell.payload) * 8:
+                buf = bytearray(cell.payload)
+                buf[bit // 8] ^= 1 << (bit % 8)
+                cell.payload = bytes(buf)
+            else:
+                cell.crc ^= 1 << (bit - len(cell.payload) * 8)
+        try:
+            reassembled = Aal34Codec.reassemble(cells)
+        except ReassemblyError:
+            return pdu, True  # caught: the receiver will discard
+        # CRC aliased, or the flips landed in padding: whatever survived
+        # reassembly sails through undetected by the link check.
+        return reassembled, False
+
+    # ------------------------------------------------------------------
+    # Receive-side stage
+    # ------------------------------------------------------------------
+    def apply_controller(self, pdu: bytes) -> Tuple[bytes, Optional[str]]:
+        """Controller-stage corruption (adapter->host copy, post-CRC)."""
+        if self.p_controller and self.rng.random() < self.p_controller:
+            self.stats.injected_controller += 1
+            return (_flip_bits(pdu, self.rng, self.bits_per_fault),
+                    "controller")
+        return pdu, None

@@ -1,0 +1,5 @@
+"""Hardware cost models for the simulated machines."""
+
+from repro.hw.costs import LinearCost, MachineCosts, decstation_5000_200, sun_3
+
+__all__ = ["LinearCost", "MachineCosts", "decstation_5000_200", "sun_3"]

@@ -1,0 +1,238 @@
+"""Machine cost models.
+
+Every primitive operation the simulated kernel performs (copy a buffer,
+checksum a buffer, allocate an mbuf, switch context, move a cell into
+the adapter FIFO, ...) charges simulated CPU time according to the
+formulas here.  The constants for the DECstation 5000/200 are fitted to
+the paper's *own microbenchmarks*:
+
+* Table 5 gives user-level costs for the ULTRIX checksum, ``bcopy``, the
+  optimized (unrolled, word-at-a-time) checksum, and the integrated
+  copy+checksum across eight sizes.  All four fit a ``fixed + per_byte``
+  line to within a few percent (fits done offline with least squares).
+* §2.2.1 gives mbuf allocate+free ≈ 7 µs.
+* §3 gives PCB list search ≈ 1.3 µs per entry (26 µs @ 20 entries,
+  1280 µs @ 1000 entries).
+* Tables 2 and 3 pin the in-kernel ``in_cksum`` slope (≈ 0.1425 µs/B)
+  and the fixed layer costs (TCP output/input processing, IP, driver
+  per-cell costs, softint dispatch, wakeup).
+
+Macro results (round-trip tables) are **not** fitted: they emerge from
+running the simulated stack with these primitive costs.
+
+The Sun-3 model exists only for the §4.1 hardware-scaling comparison
+(130 µs checksum / 140 µs copy / 200 µs combined at 1 KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.engine import us
+
+__all__ = ["LinearCost", "MachineCosts", "decstation_5000_200", "sun_3"]
+
+
+@dataclass(frozen=True)
+class LinearCost:
+    """A ``fixed + per_byte * n`` cost in microseconds, returned in ns."""
+
+    fixed_us: float
+    per_byte_us: float
+
+    def ns(self, nbytes: int = 0) -> int:
+        """Cost of applying the operation to *nbytes* bytes."""
+        return us(self.fixed_us + self.per_byte_us * nbytes)
+
+    def us_at(self, nbytes: int) -> float:
+        """Cost in microseconds (for reports and microbenchmarks)."""
+        return self.fixed_us + self.per_byte_us * nbytes
+
+    def bandwidth_mb_s(self, nbytes: int) -> float:
+        """Effective bandwidth moving *nbytes* through this operation."""
+        total_us = self.us_at(nbytes)
+        if total_us <= 0:
+            return float("inf")
+        return nbytes / total_us  # bytes/us == MB/s
+
+
+@dataclass(frozen=True)
+class MachineCosts:
+    """All primitive-operation costs for one machine."""
+
+    name: str
+    cpu_mhz: float
+
+    # ------------------------------------------------------------------
+    # User-level copy / checksum algorithms (Table 5 fits)
+    # ------------------------------------------------------------------
+    #: ULTRIX 4.2A checksum: halfword loads, no unrolling.
+    cksum_ultrix: LinearCost = LinearCost(4.2, 0.2000)
+    #: Optimized checksum: word loads + loop unrolling (§4.1).
+    cksum_optimized: LinearCost = LinearCost(2.0, 0.0940)
+    #: Plain memory-to-memory copy (bcopy).
+    bcopy: LinearCost = LinearCost(3.7, 0.0870)
+    #: Integrated copy+checksum in one loop (§4.1).
+    copy_cksum_integrated: LinearCost = LinearCost(2.0, 0.1077)
+
+    # ------------------------------------------------------------------
+    # Kernel data movement
+    # ------------------------------------------------------------------
+    #: BSD 4.4 in-kernel in_cksum (word-based; Tables 2/3 slope).
+    cksum_kernel: LinearCost = LinearCost(3.6, 0.1425)
+    #: copyin/copyout between user space and a small-mbuf chain:
+    #: per-byte copy; the per-mbuf allocation/setup is charged separately.
+    copy_user_mbuf: LinearCost = LinearCost(0.0, 0.0870)
+    #: copyin/copyout between user space and a page-aligned cluster mbuf
+    #: (faster: contiguous, word-aligned; Table 2 "User" row above 1 KB).
+    copy_user_cluster: LinearCost = LinearCost(0.0, 0.0400)
+    #: copyin integrated with partial checksumming (Table 6 kernel): one
+    #: pass, but slower per byte than the plain cluster copy.
+    copy_user_integrated: LinearCost = LinearCost(0.0, 0.1010)
+    #: mbuf-to-mbuf data copy (the transmit-side retransmission copy when
+    #: small mbufs are in use; cluster copies are refcounted instead).
+    copy_mbuf_mbuf: LinearCost = LinearCost(0.0, 0.1300)
+    #: m_copy per-call fixed cost (chain walk setup).
+    m_copy_fixed_us: float = 2.0
+    #: m_copy of a whole cluster: header alloc + refcount bump + pkthdr
+    #: bookkeeping (Table 2 mcopy row: ~29 µs for one cluster).
+    cluster_ref_us: float = 21.0
+
+    # ------------------------------------------------------------------
+    # Mbuf allocator (§2.2.1: alloc+free just over 7 µs, any type)
+    # ------------------------------------------------------------------
+    mbuf_alloc_us: float = 4.0
+    mbuf_free_us: float = 3.2
+    #: Extra setup charged per mbuf in a copy loop (header init, chain link).
+    mbuf_chain_setup_us: float = 1.5
+
+    # ------------------------------------------------------------------
+    # Syscall / socket layer
+    # ------------------------------------------------------------------
+    syscall_entry_us: float = 14.0
+    syscall_exit_us: float = 9.0
+    sosend_fixed_us: float = 25.0
+    soreceive_fixed_us: float = 50.0
+    #: Table 6 kernel ("initial implementation ... significant costs in
+    #: the smaller length cases"): fixed transmit-side bookkeeping per
+    #: segment for the partial-checksum machinery...
+    partial_cksum_tx_fixed_us: float = 60.0
+    #: ...plus a per-chunk cost for each mbuf whose partial sum must be
+    #: produced and stored.
+    partial_cksum_per_chunk_us: float = 13.3
+
+    # ------------------------------------------------------------------
+    # Scheduling (§2.2.4)
+    # ------------------------------------------------------------------
+    #: Software-interrupt dispatch: schednetisr -> ipintr running (IPQ).
+    softint_dispatch_us: float = 21.0
+    #: wakeup() + setrunqueue + context switch to the sleeping process.
+    wakeup_us: float = 12.0
+    context_switch_us: float = 44.0
+
+    # ------------------------------------------------------------------
+    # UDP layer (fixed costs; the Kay & Pasquale studies put UDP's
+    # protocol processing well below TCP's)
+    # ------------------------------------------------------------------
+    udp_output_us: float = 38.0
+    udp_input_us: float = 52.0
+
+    # ------------------------------------------------------------------
+    # IP layer (Tables 2/3 "IP" rows)
+    # ------------------------------------------------------------------
+    ip_output_us: float = 30.0
+    ip_input_us: float = 38.0
+    ip_hdr_cksum_us: float = 5.0
+
+    # ------------------------------------------------------------------
+    # TCP layer (Tables 2/3 minus checksum/mcopy)
+    # ------------------------------------------------------------------
+    #: tcp_output: per-call fixed cost (header template, window calc...).
+    tcp_output_fixed_us: float = 48.0
+    #: tcp_output: additional cost per segment emitted from one call.
+    tcp_output_per_segment_us: float = 14.0
+    #: tcp_input slow path (full header processing, no prediction hit).
+    tcp_input_slow_us: float = 112.0
+    #: tcp_input fast path (header prediction succeeds).
+    tcp_input_fast_us: float = 50.0
+    #: ACK bookkeeping when a segment acks new data (piggyback case).
+    tcp_ack_processing_us: float = 18.0
+    #: PCB lookup: linear list search (§3: just under 1.3 µs per entry).
+    pcb_search_fixed_us: float = 0.0
+    pcb_search_per_entry_us: float = 1.3
+    #: in_pcblookup call overhead around the search itself (argument
+    #: marshalling, wildcard bookkeeping) — what the one-entry PCB cache
+    #: actually saves when the list is short.
+    pcb_lookup_call_us: float = 12.0
+    #: PCB hash-table lookup (the §3 "simple hash table" alternative).
+    pcb_hash_lookup_us: float = 4.0
+    #: One-entry PCB cache check.
+    pcb_cache_check_us: float = 1.0
+    #: Header-prediction precomputation of the next expected header.
+    header_predict_setup_us: float = 4.0
+
+    # ------------------------------------------------------------------
+    # FORE TCA-100 ATM adapter + driver
+    # ------------------------------------------------------------------
+    #: Driver transmit: fixed per packet (AAL3/4 framing setup, FIFO mgmt).
+    atm_tx_fixed_us: float = 12.0
+    #: Driver transmit: per cell built and written to the TX FIFO.
+    atm_tx_per_cell_us: float = 2.2
+    #: Driver transmit: per source mbuf walked in the copy loop.
+    atm_tx_per_mbuf_us: float = 3.5
+    #: Driver receive: fixed per packet (reassembly completion, hand-off).
+    atm_rx_fixed_us: float = 14.8
+    #: Driver receive: per cell drained from the RX FIFO (uncached
+    #: TurboChannel reads dominate: ~9.6 µs/cell in Table 3's ATM row).
+    atm_rx_per_cell_us: float = 9.6
+    #: Extra per-cell receive cost when the driver integrates the TCP
+    #: checksum into its device->mbuf copy (Table 6 kernel)...
+    atm_rx_integrated_extra_per_cell_us: float = 0.25
+    #: ...plus fixed per-packet receive-side integration bookkeeping.
+    atm_rx_integrated_fixed_us: float = 60.7
+    #: Interrupt entry/exit overhead per device interrupt.
+    intr_overhead_us: float = 12.0
+
+    # ------------------------------------------------------------------
+    # LANCE Ethernet adapter + driver
+    # ------------------------------------------------------------------
+    ether_tx_fixed_us: float = 190.0
+    ether_tx_per_byte_us: float = 0.105
+    ether_rx_fixed_us: float = 215.0
+    ether_rx_per_byte_us: float = 0.145
+
+    def mbuf_alloc_ns(self) -> int:
+        return us(self.mbuf_alloc_us)
+
+    def mbuf_free_ns(self) -> int:
+        return us(self.mbuf_free_us)
+
+    def pcb_search_ns(self, entries_examined: int) -> int:
+        return us(self.pcb_search_fixed_us
+                  + self.pcb_search_per_entry_us * entries_examined)
+
+    def with_overrides(self, **kwargs) -> "MachineCosts":
+        """A copy of this model with some constants replaced (ablations)."""
+        return replace(self, **kwargs)
+
+
+def decstation_5000_200() -> MachineCosts:
+    """The paper's measurement platform: 25 MHz MIPS R3000."""
+    return MachineCosts(name="DECstation 5000/200", cpu_mhz=25.0)
+
+
+def sun_3() -> MachineCosts:
+    """The Sun-3 from Clark et al. [4], used for the §4.1 comparison.
+
+    Only the user-level copy/checksum costs are calibrated (1 KB points:
+    checksum 130 µs, copy 140 µs, combined 200 µs); the rest inherit the
+    DECstation values and should not be used.
+    """
+    return MachineCosts(
+        name="Sun-3",
+        cpu_mhz=16.7,
+        cksum_ultrix=LinearCost(5.0, 0.1221),
+        cksum_optimized=LinearCost(5.0, 0.1221),
+        bcopy=LinearCost(5.0, 0.1318),
+        copy_cksum_integrated=LinearCost(5.0, 0.1904),
+    )

@@ -1,0 +1,21 @@
+"""IP layer: ip_output/ipintr, protocol dispatch, fragmentation."""
+
+from repro.ip.fragment import (
+    IP_DF,
+    IP_MF,
+    FragmentReassembler,
+    ReassemblyBuffer,
+    fragment_packet,
+)
+from repro.ip.layer import IPError, IPLayer, IPStats
+
+__all__ = [
+    "FragmentReassembler",
+    "IPError",
+    "IPLayer",
+    "IPStats",
+    "IP_DF",
+    "IP_MF",
+    "ReassemblyBuffer",
+    "fragment_packet",
+]

@@ -1,0 +1,148 @@
+"""IPv4 fragmentation and reassembly.
+
+TCP never fragments here (its MSS is always below the interface MTU),
+but UDP has no segmentation of its own: an 8 KB NFS-style datagram over
+Ethernet (MTU 1500) *must* fragment — the classic case this module
+exists for.
+
+Fragment offsets are in 8-byte units (RFC 791); the MF bit marks all
+fragments but the last.  Reassembly is keyed by (src, dst, protocol,
+identification), tolerates out-of-order arrival, and discards
+incomplete datagrams after a timeout — a lost fragment loses the whole
+datagram, which for UDP means the application sees nothing (no
+retransmission below it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.headers import IP_HEADER_LEN, IPHeader
+from repro.net.packet import Packet
+
+__all__ = ["IP_MF", "IP_DF", "fragment_packet", "ReassemblyBuffer",
+           "FragmentReassembler"]
+
+IP_MF = 0x2000  #: more-fragments flag
+IP_DF = 0x4000  #: don't-fragment flag
+_OFFSET_MASK = 0x1FFF
+
+
+def fragment_packet(packet: Packet, mtu: int) -> List[Packet]:
+    """Split an IP datagram into MTU-sized fragments.
+
+    Returns ``[packet]`` unchanged if it already fits.  Fragment payload
+    sizes are multiples of 8 bytes except for the final fragment.
+    """
+    if len(packet.data) <= mtu:
+        return [packet]
+    header = packet.ip_header
+    if header.flags_fragment & IP_DF:
+        raise ValueError("datagram exceeds MTU but DF is set")
+    payload = packet.data[IP_HEADER_LEN:]
+    max_payload = (mtu - IP_HEADER_LEN) & ~7  # 8-byte aligned
+    if max_payload <= 0:
+        raise ValueError(f"MTU {mtu} too small to fragment into")
+    fragments: List[Packet] = []
+    offset = 0
+    while offset < len(payload):
+        chunk = payload[offset:offset + max_payload]
+        last = offset + len(chunk) >= len(payload)
+        frag_header = IPHeader(
+            src=header.src, dst=header.dst,
+            total_length=IP_HEADER_LEN + len(chunk),
+            protocol=header.protocol,
+            identification=header.identification,
+            ttl=header.ttl, tos=header.tos,
+            flags_fragment=(offset // 8) | (0 if last else IP_MF),
+        )
+        frag = Packet(frag_header.pack() + chunk)
+        frag.tx_host = packet.tx_host
+        fragments.append(frag)
+        offset += len(chunk)
+    return fragments
+
+
+@dataclass
+class ReassemblyBuffer:
+    """Fragments of one datagram awaiting completion."""
+
+    first_arrival_ns: int
+    pieces: Dict[int, bytes] = field(default_factory=dict)  # offset->data
+    total_payload: Optional[int] = None  # known once the last frag lands
+
+    def add(self, offset_bytes: int, data: bytes, last: bool) -> None:
+        self.pieces[offset_bytes] = data
+        if last:
+            self.total_payload = offset_bytes + len(data)
+
+    @property
+    def complete(self) -> bool:
+        if self.total_payload is None:
+            return False
+        covered = 0
+        for offset in sorted(self.pieces):
+            if offset > covered:
+                return False  # gap
+            covered = max(covered, offset + len(self.pieces[offset]))
+        return covered >= self.total_payload
+
+    def payload(self) -> bytes:
+        out = bytearray(self.total_payload or 0)
+        for offset, data in self.pieces.items():
+            out[offset:offset + len(data)] = data
+        return bytes(out[:self.total_payload])
+
+
+class FragmentReassembler:
+    """Per-host reassembly table (ipq in BSD terms)."""
+
+    def __init__(self, sim, timeout_us: float = 30_000_000.0):
+        self.sim = sim
+        self.timeout_ns = int(timeout_us * 1000)
+        self._table: Dict[Tuple[int, int, int, int], ReassemblyBuffer] = {}
+        self.reassembled = 0
+        self.timed_out = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def input_fragment(self, packet: Packet) -> Optional[Packet]:
+        """Accept one fragment; returns the whole datagram if complete."""
+        header = packet.ip_header
+        key = (header.src, header.dst, header.protocol,
+               header.identification)
+        offset_bytes = (header.flags_fragment & _OFFSET_MASK) * 8
+        last = not header.flags_fragment & IP_MF
+        if offset_bytes == 0 and last:
+            return packet  # not actually fragmented
+        self._expire_stale()
+        buf = self._table.get(key)
+        if buf is None:
+            buf = self._table[key] = ReassemblyBuffer(
+                first_arrival_ns=self.sim.now)
+        buf.add(offset_bytes, packet.data[IP_HEADER_LEN:], last)
+        if not buf.complete:
+            return None
+        del self._table[key]
+        self.reassembled += 1
+        whole_header = IPHeader(
+            src=header.src, dst=header.dst,
+            total_length=IP_HEADER_LEN + (buf.total_payload or 0),
+            protocol=header.protocol,
+            identification=header.identification,
+            ttl=header.ttl, tos=header.tos, flags_fragment=0,
+        )
+        whole = Packet(whole_header.pack() + buf.payload())
+        whole.tx_host = packet.tx_host
+        whole.last_cell_arrival_ns = packet.last_cell_arrival_ns
+        return whole
+
+    def _expire_stale(self) -> None:
+        now = self.sim.now
+        stale = [key for key, buf in self._table.items()
+                 if now - buf.first_arrival_ns > self.timeout_ns]
+        for key in stale:
+            del self._table[key]
+            self.timed_out += 1

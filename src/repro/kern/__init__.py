@@ -1,0 +1,13 @@
+"""Kernel services: configuration, scheduling, software interrupts, host."""
+
+from repro.kern.config import ChecksumMode, KernelConfig, PcbLookup
+from repro.kern.sched import ProcessScheduler
+from repro.kern.softint import SoftNet
+
+__all__ = [
+    "ChecksumMode",
+    "KernelConfig",
+    "PcbLookup",
+    "ProcessScheduler",
+    "SoftNet",
+]

@@ -1,0 +1,110 @@
+"""The simulated workstation: CPU, clock, kernel services, stack.
+
+A :class:`Host` corresponds to one DECstation 5000/200 in the paper's
+testbed: one CPU shared by interrupts and processes, the measurement
+clock card, the mbuf pool, the scheduler, the network software
+interrupt, and the IP/TCP layers.  A network interface (ATM or
+Ethernet) is attached after construction.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hw.costs import MachineCosts, decstation_5000_200
+from repro.kern.config import KernelConfig
+from repro.kern.sched import ProcessScheduler
+from repro.kern.softint import SoftNet
+from repro.ip.layer import IPLayer
+from repro.mem.mbuf import MbufPool
+from repro.net.addresses import HostAddress
+from repro.net.headers import PROTO_TCP
+from repro.sim.clock import ClockCard
+from repro.sim.cpu import CPU, Priority
+from repro.sim.engine import Process, Simulator
+from repro.sim.resources import Semaphore
+from repro.sim.trace import SpanTracer
+from repro.socket.socket import Socket
+from repro.tcp.layer import TCPLayer
+from repro.udp.layer import UDPLayer
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One simulated workstation."""
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 costs: Optional[MachineCosts] = None,
+                 config: Optional[KernelConfig] = None):
+        self.sim = sim
+        self.name = name
+        self.address = HostAddress(address, name)
+        self.costs = costs if costs is not None else decstation_5000_200()
+        self.config = config if config is not None else KernelConfig()
+
+        self.cpu = CPU(sim, f"{name}.cpu")
+        self.clock = ClockCard(sim)
+        self.tracer = SpanTracer(self.clock)
+        self.pool = MbufPool(self.costs)
+        self.scheduler = ProcessScheduler(sim, self.cpu, self.costs,
+                                          self.tracer)
+        self.softnet = SoftNet(sim, self.cpu, self.costs, self.tracer)
+        self.ip = IPLayer(self)
+        self.softnet.ip_input = self.ip.input
+        self.tcp = TCPLayer(self)
+        self.ip.register_protocol(PROTO_TCP, self._tcp_input)
+        self.udp = UDPLayer(self)
+        self.interface = None
+        #: Optional tcpdump-style tracer (see repro.core.packetlog).
+        self.packet_log = None
+        #: splnet: BSD serializes protocol processing by masking the
+        #: network software interrupt while a process runs inside the
+        #: stack.  Here a mutex plays that role — the softint's
+        #: per-packet input section and every process-context protocol
+        #: section (sosend's output call, soreceive's buffer drain,
+        #: timer-driven sends) take it.  Without it, an ACK processed
+        #: mid-tcp_output would shift the send buffer under the copy.
+        self.splnet = Semaphore(sim, value=1, name=f"{name}.splnet")
+        self.softnet.splnet = self.splnet
+
+    def _tcp_input(self, packet):
+        yield from self.tcp.input(packet, Priority.SOFT_INTR)
+
+    def splnet_acquire(self):
+        """Event to ``yield`` for entering a protocol section."""
+        return self.splnet.acquire()
+
+    def splnet_release(self) -> None:
+        self.splnet.release()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_interface(self, iface) -> None:
+        """Install the host's network interface (one per host)."""
+        if self.interface is not None:
+            raise RuntimeError(f"{self.name}: interface already attached")
+        self.interface = iface
+
+    # ------------------------------------------------------------------
+    # Conveniences used throughout the stack
+    # ------------------------------------------------------------------
+    def charge(self, cost_ns: int, priority: int, label: str,
+               span: Optional[str] = None) -> Generator:
+        """Charge CPU time, optionally recording it as a latency span."""
+        token = self.tracer.begin(span) if span else None
+        yield self.cpu.run(cost_ns, priority, label)
+        if token is not None:
+            self.tracer.end(token)
+
+    def socket(self) -> Socket:
+        """A fresh unconnected socket on this host."""
+        return Socket(self)
+
+    def spawn(self, gen, name: str = "proc") -> Process:
+        """Start a simulated (user) process on this host."""
+        return self.sim.process(gen, name=f"{self.name}:{name}")
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} {self.address.dotted}>"

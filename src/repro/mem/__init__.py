@@ -1,0 +1,23 @@
+"""Buffer management: BSD-style mbufs, cluster mbufs, and the allocator."""
+
+from repro.mem.mbuf import (
+    CLUSTER_THRESHOLD,
+    MBUF_DATA_SIZE,
+    MCLBYTES,
+    ClusterStorage,
+    Mbuf,
+    MbufChain,
+    MbufError,
+    MbufPool,
+)
+
+__all__ = [
+    "CLUSTER_THRESHOLD",
+    "MBUF_DATA_SIZE",
+    "MCLBYTES",
+    "ClusterStorage",
+    "Mbuf",
+    "MbufChain",
+    "MbufError",
+    "MbufPool",
+]

@@ -1,0 +1,375 @@
+"""BSD-style mbuf buffer management.
+
+The paper's §2.2.1 behaviour we must reproduce:
+
+* Normal mbufs hold up to 108 bytes of data; cluster mbufs hold a full
+  4 KB page.  The socket layer switches to clusters once a transfer
+  exceeds 1 KB — the cause of the non-linearity between the 500- and
+  1400-byte rows of Table 2.
+* Copying a chain of normal mbufs (``m_copy``) allocates new mbufs and
+  copies the data; copying cluster mbufs only bumps a reference count.
+  TCP copies the socket-buffer chain on every transmit to keep data for
+  retransmission, so this asymmetry shows up directly in the "mcopy"
+  row.
+* Allocating and freeing an mbuf (either type) costs just over 7 µs.
+
+Data here is *real*: an mbuf stores actual bytes, and chains serialize
+to the exact byte sequence that gets checksummed and put on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.sim.engine import us as _us
+
+__all__ = [
+    "MBUF_DATA_SIZE",
+    "MCLBYTES",
+    "CLUSTER_THRESHOLD",
+    "Mbuf",
+    "ClusterStorage",
+    "MbufChain",
+    "MbufPool",
+    "MbufError",
+]
+
+#: Data bytes in a normal mbuf (paper §2.2.1: "normal mbufs hold only
+#: 108 bytes of data").
+MBUF_DATA_SIZE = 108
+
+#: Cluster mbuf data size: one memory page.
+MCLBYTES = 4096
+
+#: The ULTRIX 4.2A socket layer switches to cluster mbufs once the
+#: transfer size grows above 1 KB (§2.2.1).
+CLUSTER_THRESHOLD = 1024
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+class MbufError(Exception):
+    """Mbuf misuse (double free, over-capacity store, ...)."""
+
+
+class ClusterStorage:
+    """A reference-counted 4 KB page shared by cluster mbufs."""
+
+    __slots__ = ("data", "refs")
+
+    def __init__(self, data: bytes):
+        if len(data) > MCLBYTES:
+            raise MbufError(
+                f"cluster data {len(data)} exceeds MCLBYTES {MCLBYTES}"
+            )
+        self.data = data
+        self.refs = 1
+
+    def ref(self) -> "ClusterStorage":
+        self.refs += 1
+        return self
+
+    def unref(self) -> bool:
+        """Drop one reference; True when the storage is now dead."""
+        if self.refs <= 0:
+            raise MbufError("cluster storage over-released")
+        self.refs -= 1
+        return self.refs == 0
+
+
+class Mbuf:
+    """One mbuf: either normal (owns ≤108 B) or cluster (shares a page).
+
+    ``partial_sum`` is the paper's §4.1.1 transmit-side optimization: the
+    socket layer stores the raw Internet-checksum sum of this mbuf's data
+    in the mbuf header while copying it in, for TCP to combine later.
+    """
+
+    __slots__ = ("_data", "cluster", "partial_sum", "freed")
+
+    def __init__(self, data: Buffer = b"",
+                 cluster: Optional[ClusterStorage] = None):
+        if cluster is not None:
+            self._data = None
+            self.cluster = cluster
+        else:
+            if len(data) > MBUF_DATA_SIZE:
+                raise MbufError(
+                    f"{len(data)} bytes exceed normal mbuf capacity "
+                    f"{MBUF_DATA_SIZE}"
+                )
+            self._data = bytes(data)
+            self.cluster = None
+        self.partial_sum: Optional[Tuple[int, int]] = None
+        self.freed = False
+
+    @property
+    def is_cluster(self) -> bool:
+        return self.cluster is not None
+
+    @property
+    def data(self) -> bytes:
+        if self.freed:
+            raise MbufError("use after free")
+        if self.cluster is not None:
+            return self.cluster.data
+        return self._data  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        kind = "cluster" if self.is_cluster else "mbuf"
+        return f"<{kind} len={len(self)}>"
+
+
+class MbufChain:
+    """An ordered chain of mbufs holding one logical run of bytes."""
+
+    __slots__ = ("mbufs",)
+
+    def __init__(self, mbufs: Optional[Iterable[Mbuf]] = None):
+        self.mbufs: List[Mbuf] = list(mbufs) if mbufs else []
+
+    @property
+    def length(self) -> int:
+        """Total data bytes across the chain."""
+        return sum(len(m) for m in self.mbufs)
+
+    @property
+    def mbuf_count(self) -> int:
+        return len(self.mbufs)
+
+    @property
+    def cluster_count(self) -> int:
+        return sum(1 for m in self.mbufs if m.is_cluster)
+
+    def to_bytes(self) -> bytes:
+        """The chain's contents as one contiguous byte string."""
+        return b"".join(m.data for m in self.mbufs)
+
+    def append(self, mbuf: Mbuf) -> None:
+        self.mbufs.append(mbuf)
+
+    def extend(self, other: "MbufChain") -> None:
+        self.mbufs.extend(other.mbufs)
+
+    def slice_bytes(self, offset: int, length: int) -> bytes:
+        """Bytes ``[offset, offset+length)`` of the chain's contents."""
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise MbufError(
+                f"slice [{offset}:{offset + length}] outside chain "
+                f"of {self.length} bytes"
+            )
+        return self.to_bytes()[offset:offset + length]
+
+    def mbufs_spanning(self, offset: int, length: int) -> List[Tuple[Mbuf, int, int]]:
+        """The mbufs overlapping ``[offset, offset+length)``.
+
+        Returns ``(mbuf, start_within_mbuf, bytes_taken)`` triples; used
+        by TCP both for the retransmission copy and to decide whether the
+        stored partial checksums cover a segment exactly.
+        """
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise MbufError("span outside chain")
+        result = []
+        pos = 0
+        remaining = length
+        for m in self.mbufs:
+            mlen = len(m)
+            if remaining == 0:
+                break
+            if pos + mlen <= offset:
+                pos += mlen
+                continue
+            start = max(0, offset - pos)
+            take = min(mlen - start, remaining)
+            result.append((m, start, take))
+            remaining -= take
+            pos += mlen
+        return result
+
+    def __repr__(self) -> str:
+        return f"<MbufChain {self.mbuf_count} mbufs, {self.length} bytes>"
+
+
+class MbufPool:
+    """The mbuf allocator, with §2.2.1's cost model and usage statistics.
+
+    The pool is pure bookkeeping: it returns the *cost* of each operation
+    in nanoseconds and the caller (simulated kernel code) charges that
+    time to the CPU.  This keeps the data structures synchronous and
+    easily testable.
+    """
+
+    def __init__(self, costs) -> None:
+        self.costs = costs
+        self.allocated = 0
+        self.freed = 0
+        self.cluster_allocated = 0
+        self.high_water = 0
+
+    @property
+    def in_use(self) -> int:
+        return self.allocated - self.freed
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, data: Buffer = b"") -> Tuple[Mbuf, int]:
+        """Allocate a normal mbuf holding *data*; returns (mbuf, cost_ns)."""
+        mbuf = Mbuf(data=data)
+        self._count_alloc(cluster=False)
+        return mbuf, self.costs.mbuf_alloc_ns()
+
+    def alloc_cluster(self, data: Buffer) -> Tuple[Mbuf, int]:
+        """Allocate a cluster mbuf holding *data*; returns (mbuf, cost_ns)."""
+        mbuf = Mbuf(cluster=ClusterStorage(bytes(data)))
+        self._count_alloc(cluster=True)
+        return mbuf, self.costs.mbuf_alloc_ns()
+
+    def free(self, mbuf: Mbuf) -> int:
+        """Free one mbuf; returns cost_ns."""
+        if mbuf.freed:
+            raise MbufError("double free")
+        mbuf.freed = True
+        if mbuf.cluster is not None:
+            mbuf.cluster.unref()
+        self.freed += 1
+        return self.costs.mbuf_free_ns()
+
+    def free_chain(self, chain: MbufChain) -> int:
+        """Free every mbuf in *chain*; returns total cost_ns."""
+        total = 0
+        for m in chain.mbufs:
+            total += self.free(m)
+        chain.mbufs.clear()
+        return total
+
+    def _count_alloc(self, cluster: bool) -> None:
+        self.allocated += 1
+        if cluster:
+            self.cluster_allocated += 1
+        self.high_water = max(self.high_water, self.in_use)
+
+    # ------------------------------------------------------------------
+    # Chain builders (the socket layer's copyin policy)
+    # ------------------------------------------------------------------
+    def chunk_sizes(self, total: int, use_clusters: bool) -> List[int]:
+        """How the socket layer splits *total* bytes into mbufs."""
+        if total == 0:
+            return [0]
+        unit = MCLBYTES if use_clusters else MBUF_DATA_SIZE
+        sizes = []
+        remaining = total
+        while remaining > 0:
+            take = min(unit, remaining)
+            sizes.append(take)
+            remaining -= take
+        return sizes
+
+    def build_chain(self, data: Buffer, use_clusters: bool,
+                    chunk_sizes: Optional[List[int]] = None,
+                    ) -> Tuple[MbufChain, int]:
+        """Copy *data* into a fresh chain; returns (chain, alloc_cost_ns).
+
+        Only allocator cost is returned — the *copy* cost depends on the
+        copy/checksum mode and is charged by the socket layer.  An
+        explicit *chunk_sizes* list overrides the default policy (used
+        by the §4.1.1 segment-size-prediction extension); each chunk
+        must fit its mbuf type.
+        """
+        data = bytes(data)
+        if chunk_sizes is not None:
+            if sum(chunk_sizes) != len(data):
+                raise MbufError(
+                    f"chunk sizes sum to {sum(chunk_sizes)}, "
+                    f"data is {len(data)} bytes")
+        else:
+            chunk_sizes = self.chunk_sizes(len(data), use_clusters)
+        chain = MbufChain()
+        cost = 0
+        offset = 0
+        for size in chunk_sizes:
+            chunk = data[offset:offset + size]
+            if (use_clusters or size > MBUF_DATA_SIZE) and size > 0:
+                mbuf, c = self.alloc_cluster(chunk)
+            else:
+                mbuf, c = self.alloc(chunk)
+            chain.append(mbuf)
+            cost += c
+            offset += size
+        return chain, cost
+
+    # ------------------------------------------------------------------
+    # m_copy (§2.2.1): the TCP transmit-path retransmission copy
+    # ------------------------------------------------------------------
+    def m_copy(self, chain: MbufChain, offset: int,
+               length: int) -> Tuple[MbufChain, int]:
+        """Copy ``[offset, offset+length)`` of *chain* into a new chain.
+
+        Normal mbufs: allocate + copy the bytes (charged per byte).
+        Cluster mbufs: allocate only an mbuf header and share the page
+        via its reference count — no data copy (§2.2.1).
+
+        Returns ``(new_chain, cost_ns)``; the cost is what the paper's
+        "mcopy" row measures.
+        """
+        new_chain = MbufChain()
+        cost = _us(self.costs.m_copy_fixed_us)
+        for mbuf, start, take in chain.mbufs_spanning(offset, length):
+            if mbuf.is_cluster and start == 0 and take == len(mbuf):
+                # Reference-counted share of the whole page.
+                shared = Mbuf(cluster=mbuf.cluster.ref())
+                shared.partial_sum = mbuf.partial_sum
+                self._count_alloc(cluster=True)
+                cost += _us(self.costs.cluster_ref_us)
+                new_chain.append(shared)
+            elif mbuf.is_cluster:
+                # Partial cluster reference: BSD shares the page and
+                # records an offset; we copy the slice view (the page is
+                # immutable here) but charge only the header allocation.
+                shared = Mbuf(cluster=ClusterStorage(
+                    mbuf.data[start:start + take]))
+                self._count_alloc(cluster=True)
+                cost += _us(self.costs.cluster_ref_us)
+                new_chain.append(shared)
+            else:
+                piece = mbuf.data[start:start + take]
+                copied, alloc_cost = self.alloc(piece)
+                copied.partial_sum = (
+                    mbuf.partial_sum if start == 0 and take == len(mbuf)
+                    else None
+                )
+                cost += alloc_cost
+                cost += self.costs.copy_mbuf_mbuf.ns(take)
+                new_chain.append(copied)
+        return new_chain, cost
+
+    # ------------------------------------------------------------------
+    # sbdrop: release acked bytes from the front of a chain
+    # ------------------------------------------------------------------
+    def drop_front(self, chain: MbufChain, length: int) -> int:
+        """Remove *length* bytes from the chain head; returns cost_ns."""
+        if length > chain.length:
+            raise MbufError(
+                f"dropping {length} bytes from {chain.length}-byte chain"
+            )
+        cost = 0
+        remaining = length
+        while remaining > 0 and chain.mbufs:
+            head = chain.mbufs[0]
+            if len(head) <= remaining:
+                remaining -= len(head)
+                chain.mbufs.pop(0)
+                cost += self.free(head)
+            else:
+                # Trim within the mbuf (no alloc/free).
+                keep = head.data[remaining:]
+                if head.is_cluster:
+                    head.cluster = ClusterStorage(keep)
+                else:
+                    head._data = keep  # noqa: SLF001 - pool owns mbufs
+                head.partial_sum = None
+                remaining = 0
+        return cost

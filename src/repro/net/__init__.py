@@ -1,0 +1,37 @@
+"""Wire formats: addresses, IP/TCP headers, packets."""
+
+from repro.net.addresses import HostAddress, ip_aton, ip_ntoa
+from repro.net.headers import (
+    IP_HEADER_LEN,
+    PROTO_TCP,
+    TCP_HEADER_LEN,
+    HeaderError,
+    IPHeader,
+    TCPFlags,
+    TCPHeader,
+    pseudo_header_sum,
+)
+from repro.net.packet import (
+    Packet,
+    build_tcp_packet,
+    parse_tcp_packet,
+)
+from repro.net.packet import verify_tcp_checksum
+
+__all__ = [
+    "HostAddress",
+    "HeaderError",
+    "IP_HEADER_LEN",
+    "IPHeader",
+    "PROTO_TCP",
+    "Packet",
+    "TCPFlags",
+    "TCPHeader",
+    "TCP_HEADER_LEN",
+    "build_tcp_packet",
+    "ip_aton",
+    "ip_ntoa",
+    "parse_tcp_packet",
+    "pseudo_header_sum",
+    "verify_tcp_checksum",
+]

@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel: engine, CPU, clocks, tracing."""
+
+from repro.sim.clock import AN1_PERIOD_NS, ClockCard
+from repro.sim.cpu import CPU, Job, Priority
+from repro.sim.engine import (
+    NS_PER_US,
+    Event,
+    Process,
+    ScheduledCall,
+    Simulator,
+    to_us,
+    us,
+)
+from repro.sim.errors import (
+    Deadlock,
+    EventError,
+    ProcessError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.sim.resources import Semaphore, Signal, Store
+from repro.sim.trace import SpanStats, SpanTracer
+
+__all__ = [
+    "AN1_PERIOD_NS",
+    "CPU",
+    "ClockCard",
+    "Deadlock",
+    "Event",
+    "EventError",
+    "Job",
+    "NS_PER_US",
+    "Priority",
+    "Process",
+    "ProcessError",
+    "ScheduledCall",
+    "SchedulingError",
+    "Semaphore",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "SpanStats",
+    "SpanTracer",
+    "Store",
+    "to_us",
+    "us",
+]

@@ -1,0 +1,46 @@
+"""Model of the measurement clock.
+
+The paper reads a free-running real-time clock with a 40 ns period on a
+TurboChannel card (the clock from the DEC SRC AN-1 controller).  All of
+the paper's latency spans are differences of reads of this clock, so we
+reproduce the same quantization: reads return whole ticks.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+
+__all__ = ["ClockCard", "AN1_PERIOD_NS"]
+
+#: The AN-1 controller clock period used in the paper.
+AN1_PERIOD_NS = 40
+
+
+class ClockCard:
+    """A memory-mapped free-running counter with a fixed tick period.
+
+    ``read_ticks`` is what the instrumented kernel/user code "dereferences";
+    ``read_ns`` converts back to nanoseconds (still quantized to the tick).
+    """
+
+    def __init__(self, sim: Simulator, period_ns: int = AN1_PERIOD_NS):
+        if period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        self.sim = sim
+        self.period_ns = period_ns
+
+    def read_ticks(self) -> int:
+        """Current counter value (number of whole periods since boot)."""
+        return self.sim.now // self.period_ns
+
+    def read_ns(self) -> int:
+        """Current time quantized down to the clock period."""
+        return self.read_ticks() * self.period_ns
+
+    def read_us(self) -> float:
+        """Current quantized time in microseconds."""
+        return self.read_ns() / 1000.0
+
+    def delta_us(self, start_ticks: int, end_ticks: int) -> float:
+        """Elapsed microseconds between two tick readings."""
+        return (end_ticks - start_ticks) * self.period_ns / 1000.0

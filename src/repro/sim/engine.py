@@ -1,0 +1,389 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small and deterministic:
+
+* Time is an integer number of **nanoseconds** (`Simulator.now`).
+* Work is scheduled as callbacks on a binary heap, tie-broken by a
+  monotonically increasing sequence number, so two runs of the same model
+  produce byte-identical event orderings.
+* Concurrency is expressed with generator-based :class:`Process` objects
+  (in the style of simpy): a process ``yield``\\ s an :class:`Event` (or a
+  plain integer, treated as a timeout in nanoseconds) and is resumed with
+  the event's value when it triggers.
+
+Everything else in :mod:`repro` — the CPU model, the device models, the
+protocol stack — is built on these primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.errors import (
+    Deadlock,
+    EventError,
+    ProcessError,
+    SchedulingError,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "ScheduledCall",
+    "NS_PER_US",
+    "us",
+    "to_us",
+]
+
+#: Nanoseconds per microsecond; the paper reports everything in µs.
+NS_PER_US = 1000
+
+
+def us(value: float) -> int:
+    """Convert a duration in microseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def to_us(ns: int) -> float:
+    """Convert integer nanoseconds to microseconds (float)."""
+    return ns / NS_PER_US
+
+
+class ScheduledCall:
+    """Handle for a callback sitting in the event queue.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped by
+    the main loop once :meth:`cancel` has been called.  This is how the CPU
+    model revokes a completion event when a job is preempted.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled chains do not pin memory.
+        self.fn = _noop
+        self.args = ()
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once, with either a value (:meth:`succeed`) or
+    an exception (:meth:`fail`).  Callbacks registered before the trigger
+    run at the trigger's simulated time, in registration order; callbacks
+    registered after the trigger run immediately (still via the event
+    queue, preserving determinism).
+    """
+
+    _PENDING = object()
+
+    __slots__ = ("sim", "_callbacks", "_value", "_exc", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._exc: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not Event._PENDING or self._exc is not None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with."""
+        if not self.triggered:
+            raise EventError(f"event {self.name!r} has not been triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        if self.triggered:
+            raise EventError(f"event {self.name!r} already triggered")
+        self._value = value
+        self._schedule_callbacks()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception, raised in each waiter."""
+        if self.triggered:
+            raise EventError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise EventError("fail() requires an exception instance")
+        self._exc = exc
+        self._schedule_callbacks()
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` once the event triggers."""
+        if self._callbacks is None:
+            # Already triggered and dispatched: run at the current time.
+            self.sim.schedule(0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _schedule_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            self.sim.schedule(0, self._dispatch, callbacks)
+
+    def _dispatch(self, callbacks: Iterable[Callable[["Event"], None]]) -> None:
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The process *is* an event: it triggers with the generator's return
+    value when the generator finishes, so processes can wait on each other
+    simply by yielding them.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise ProcessError(
+                f"Process requires a generator, got {type(gen).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        sim.schedule(0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self.triggered
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate via event
+            self.fail(error)
+            return
+        try:
+            self._wait_on(target)
+        except ProcessError as error:
+            self._gen.close()
+            self.fail(error)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, int):
+            # Plain integers are timeouts in nanoseconds.
+            self.sim.schedule(target, self._resume, None, None)
+            return
+        if isinstance(target, Event):
+            target.add_callback(self._on_event)
+            return
+        raise ProcessError(
+            f"process {self.name!r} yielded non-waitable "
+            f"{type(target).__name__}: {target!r}"
+        )
+
+    def _on_event(self, event: Event) -> None:
+        if event.ok:
+            self._resume(event._value, None)
+        else:
+            self._resume(None, event._exc)
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: List[ScheduledCall] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return to_us(self._now)
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (diagnostics)."""
+        return self._events_executed
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, fn: Callable, *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after *delay_ns* nanoseconds."""
+        if delay_ns < 0:
+            raise SchedulingError(f"negative delay: {delay_ns}")
+        call = ScheduledCall(self._now + int(delay_ns), next(self._seq), fn, args)
+        heapq.heappush(self._queue, call)
+        return call
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay_ns: int, value: Any = None) -> Event:
+        """An event that succeeds with *value* after *delay_ns*."""
+        ev = Event(self, name=f"timeout({delay_ns})")
+        self.schedule(delay_ns, self._trigger_timeout, ev, value)
+        return ev
+
+    @staticmethod
+    def _trigger_timeout(ev: Event, value: Any) -> None:
+        ev.succeed(value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds once every event in *events* has.
+
+        Succeeds with the list of individual values, in input order.
+        """
+        events = list(events)
+        done = Event(self, name="all_of")
+        if not events:
+            done.succeed([])
+            return done
+        remaining = [len(events)]
+        values: List[Any] = [None] * len(events)
+
+        def make_cb(index: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                if done.triggered:
+                    return
+                if not ev.ok:
+                    done.fail(ev._exc)  # noqa: SLF001 - kernel internal
+                    return
+                values[index] = ev._value  # noqa: SLF001
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.succeed(list(values))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds as soon as any event in *events* does.
+
+        Succeeds with ``(index, value)`` of the first event to trigger.
+        """
+        events = list(events)
+        done = Event(self, name="any_of")
+        if not events:
+            raise EventError("any_of() requires at least one event")
+
+        def make_cb(index: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                if done.triggered:
+                    return
+                if not ev.ok:
+                    done.fail(ev._exc)  # noqa: SLF001
+                    return
+                done.succeed((index, ev._value))  # noqa: SLF001
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next non-cancelled callback.  Returns False when
+        the queue is empty."""
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            if call.time < self._now:
+                raise SchedulingError("event queue went backwards in time")
+            self._now = call.time
+            self._events_executed += 1
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        With *until* (nanoseconds), stop once the clock reaches it (or the
+        queue drains, whichever comes first) and advance the clock to
+        *until*.  Without it, run until the queue is empty.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self._now:
+            raise SchedulingError(f"until={until} is in the past")
+        while self._queue:
+            if self._peek_time() > until:
+                break
+            self.step()
+        self._now = until
+
+    def run_until_triggered(self, event: Event) -> Any:
+        """Run until *event* triggers; return its value."""
+        while not event.triggered:
+            if not self.step():
+                raise Deadlock(
+                    f"event queue drained; {event!r} never triggered"
+                )
+        return event.value
+
+    def _peek_time(self) -> int:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return self._now
+        return self._queue[0].time

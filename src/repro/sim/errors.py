@@ -1,0 +1,22 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with an invalid delay."""
+
+
+class EventError(SimulationError):
+    """An event was used in an invalid way (e.g. triggered twice)."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (e.g. yielded a non-waitable)."""
+
+
+class Deadlock(SimulationError):
+    """``run(until=...)`` could not reach the requested time: the event
+    queue drained while simulated processes were still waiting."""

@@ -1,0 +1,6 @@
+"""The socket layer: sockets and socket buffers."""
+
+from repro.socket.sockbuf import SockBuf, SockBufError
+from repro.socket.socket import Socket, SocketError
+
+__all__ = ["SockBuf", "SockBufError", "Socket", "SocketError"]

@@ -1,0 +1,38 @@
+"""BSD 4.4-style TCP: PCBs, the connection engine, and the layer."""
+
+from repro.tcp.conn import (
+    ConnectionReset,
+    ConnectionStats,
+    ConnectionTimedOut,
+    TCPConnection,
+    TCPError,
+)
+from repro.tcp.layer import TCPLayer, TCPLayerStats
+from repro.tcp.options import ALT_CKSUM_NONE, TCPOptions
+from repro.tcp.pcb import PCB, PCBError, PCBTable
+from repro.tcp.reassembly import ReassemblyQueue
+from repro.tcp.seq import seq_add, seq_diff, seq_geq, seq_gt, seq_leq, seq_lt
+from repro.tcp.states import TCPState
+
+__all__ = [
+    "ALT_CKSUM_NONE",
+    "ConnectionReset",
+    "ConnectionStats",
+    "ConnectionTimedOut",
+    "PCB",
+    "PCBError",
+    "PCBTable",
+    "ReassemblyQueue",
+    "TCPConnection",
+    "TCPError",
+    "TCPLayer",
+    "TCPLayerStats",
+    "TCPOptions",
+    "TCPState",
+    "seq_add",
+    "seq_diff",
+    "seq_geq",
+    "seq_gt",
+    "seq_leq",
+    "seq_lt",
+]

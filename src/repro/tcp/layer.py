@@ -1,0 +1,237 @@
+"""The host-wide TCP layer: demultiplexing, listeners, statistics."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional
+
+from repro.kern.config import ChecksumMode
+from repro.net.headers import (
+    HeaderError,
+    IP_HEADER_LEN,
+    TCPFlags,
+    TCPHeader,
+)
+from repro.net.packet import Packet, verify_tcp_checksum
+from repro.sim.cpu import Priority
+from repro.sim.engine import us
+from repro.tcp.conn import TCPConnection
+from repro.tcp.pcb import PCB, PCBTable
+from repro.tcp.states import TCPState
+
+__all__ = ["TCPLayer", "TCPLayerStats"]
+
+
+class TCPLayerStats:
+    """Host-wide TCP counters."""
+
+    __slots__ = ("segs_received", "cksum_errors", "no_pcb_drops",
+                 "cksum_verified", "cksum_skipped_off",
+                 "cksum_precomputed")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+
+class TCPLayer:
+    """Owns the PCB table and routes segments to connections."""
+
+    ISS_INCREMENT = 64_000
+
+    def __init__(self, host):
+        self.host = host
+        self.pcbs = PCBTable(
+            host.costs,
+            mode=host.config.pcb_lookup,
+            cache_enabled=host.config.header_prediction,
+        )
+        self.stats = TCPLayerStats()
+        self.connections: List[TCPConnection] = []
+        self._next_port = itertools.count(1024)
+        self._iss = 1000
+        self._populate_daemon_pcbs()
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _populate_daemon_pcbs(self) -> None:
+        """Background PCBs for the 'standard ULTRIX daemons' (§3)."""
+        for i in range(self.host.config.daemon_pcbs):
+            self.pcbs.insert(PCB(local_ip=self.host.address.ip,
+                                 local_port=512 + i))
+
+    def next_iss(self) -> int:
+        self._iss = (self._iss + self.ISS_INCREMENT) % (1 << 32)
+        return self._iss
+
+    def allocate_port(self) -> int:
+        for _ in range(65_000):
+            port = 1024 + (next(self._next_port) % 64_000)
+            if not any(p.local_port == port for p in self.pcbs.pcbs):
+                return port
+        raise RuntimeError("out of ephemeral ports")
+
+    # ------------------------------------------------------------------
+    # Connection management (called by the socket layer)
+    # ------------------------------------------------------------------
+    def create_connection(self, socket, local_port: Optional[int],
+                          remote_ip: int = 0,
+                          remote_port: int = 0) -> TCPConnection:
+        port = local_port if local_port else self.allocate_port()
+        pcb = PCB(local_ip=self.host.address.ip, local_port=port,
+                  remote_ip=remote_ip, remote_port=remote_port)
+        self.pcbs.insert(pcb)
+        conn = TCPConnection(self.host, socket, pcb, iss=self.next_iss())
+        self.connections.append(conn)
+        return conn
+
+    def connection_closed(self, conn: TCPConnection) -> None:
+        if conn in self.connections:
+            self.connections.remove(conn)
+        try:
+            self.pcbs.remove(conn.pcb)
+        except Exception:
+            pass  # already removed (e.g. listener teardown)
+
+    # ------------------------------------------------------------------
+    # Input path
+    # ------------------------------------------------------------------
+    def input(self, packet: Packet,
+              priority: int = Priority.SOFT_INTR) -> Generator:
+        """tcp_input entry: demux, checksum, dispatch."""
+        self.stats.segs_received += 1
+        if self.host.packet_log is not None:
+            self.host.packet_log.record(self.host.name, "rx", packet,
+                                        self.host.sim.now / 1000.0)
+        try:
+            ip_hdr = packet.ip_header
+            tcp_hdr = packet.tcp_header
+            payload = packet.payload
+        except HeaderError:
+            # Corrupted beyond parsing (possible under fault injection
+            # with the checksum eliminated): drop.
+            self.stats.cksum_errors += 1
+            return
+
+        pcb, lookup_cost, _cache_hit = self.pcbs.lookup(
+            local_ip=ip_hdr.dst, local_port=tcp_hdr.dst_port,
+            remote_ip=ip_hdr.src, remote_port=tcp_hdr.src_port,
+        )
+        span = ("rx.tcp.segment" if payload else "rx.ack.tcp.segment")
+        yield from self.host.charge(lookup_cost, priority, "pcb lookup",
+                                    span=span)
+
+        conn = pcb.connection if pcb is not None else None
+
+        # ----- checksum verification ------------------------------------
+        ok = yield from self._verify_checksum(packet, tcp_hdr, payload,
+                                              conn, priority)
+        if not ok:
+            self.stats.cksum_errors += 1
+            if conn is not None:
+                conn.stats.cksum_errors += 1
+            return  # silently dropped; the retransmission timer recovers
+
+        if pcb is None or (not pcb.is_listener and pcb.connection is None):
+            # No one listening: answer with RST (connection refused),
+            # unless the offender is itself an RST.
+            self.stats.no_pcb_drops += 1
+            if not tcp_hdr.flags & TCPFlags.RST:
+                yield from self._send_rst(ip_hdr, tcp_hdr, len(payload),
+                                          priority)
+            return
+
+        if pcb.is_listener:
+            yield from self._input_listener(pcb, packet, tcp_hdr, priority)
+            return
+        yield from conn.input(packet, ip_hdr, tcp_hdr, payload, priority)
+
+    def _send_rst(self, ip_hdr, tcp_hdr: TCPHeader, payload_len: int,
+                  priority: int) -> Generator:
+        """tcp_respond with RST for a segment that found no socket."""
+        from repro.net.headers import IPHeader
+        from repro.net.packet import build_tcp_packet
+
+        costs = self.host.costs
+        yield from self.host.charge(
+            us(costs.tcp_output_fixed_us), priority, "tcp rst")
+        if tcp_hdr.flags & TCPFlags.ACK:
+            seq, ack, flags = tcp_hdr.ack, 0, TCPFlags.RST
+        else:
+            advance = payload_len + (1 if tcp_hdr.flags & TCPFlags.SYN
+                                     else 0)
+            seq = 0
+            ack = (tcp_hdr.seq + advance) & 0xFFFFFFFF
+            flags = TCPFlags.RST | TCPFlags.ACK
+        rst_ip = IPHeader(src=ip_hdr.dst, dst=ip_hdr.src, total_length=0,
+                          identification=self.host.ip.next_ident())
+        rst_tcp = TCPHeader(src_port=tcp_hdr.dst_port,
+                            dst_port=tcp_hdr.src_port,
+                            seq=seq, ack=ack, flags=flags, window=0)
+        packet = build_tcp_packet(rst_ip, rst_tcp, b"")
+        packet.tx_host = self.host.name
+        yield from self.host.ip.output(packet, priority,
+                                       data_bearing=False)
+
+    def _verify_checksum(self, packet: Packet, tcp_hdr: TCPHeader,
+                         payload: bytes, conn: Optional[TCPConnection],
+                         priority: int) -> Generator:
+        """Charge and perform TCP checksum verification as configured.
+
+        Returns True if the segment should be accepted.
+        """
+        costs = self.host.costs
+        span = ("rx.tcp.checksum" if payload else "rx.ack.tcp.checksum")
+        if (conn is not None and conn.checksum_off
+                and tcp_hdr.checksum == 0):
+            # Negotiated checksum-off connection: nothing to verify.
+            self.stats.cksum_skipped_off += 1
+            return True
+        if packet.cksum_verified is not None:
+            # The driver already folded verification into its copy
+            # (integrated receive); the cost was charged there.
+            self.stats.cksum_precomputed += 1
+            return packet.cksum_verified
+        # Checksummed region: the TCP segment plus the 20-byte IP
+        # pseudo-header overlay (§2.2.2).
+        cksum_bytes = len(packet.data) - IP_HEADER_LEN + 20
+        yield from self.host.charge(
+            costs.cksum_kernel.ns(cksum_bytes), priority, "tcp cksum",
+            span=span)
+        self.stats.cksum_verified += 1
+        return verify_tcp_checksum(packet)
+
+    def _input_listener(self, pcb: PCB, packet: Packet,
+                        tcp_hdr: TCPHeader, priority: int) -> Generator:
+        if not tcp_hdr.flags & TCPFlags.SYN or tcp_hdr.flags & TCPFlags.ACK:
+            # Not a fresh SYN: a segment for a connection this host no
+            # longer has.  Reset the sender (unless it's itself a RST).
+            if not tcp_hdr.flags & TCPFlags.RST:
+                yield from self._send_rst(
+                    packet.ip_header, tcp_hdr, len(packet.payload),
+                    priority)
+            return
+        listener_socket = pcb.connection.socket if pcb.connection else None
+        if listener_socket is None:
+            return
+        # Create the child socket + connection in SYN_RECEIVED.
+        child = listener_socket.spawn_child()
+        conn = self.create_connection(
+            child, local_port=pcb.local_port,
+            remote_ip=packet.ip_header.src, remote_port=tcp_hdr.src_port,
+        )
+        child.conn = conn
+        conn.listener_socket = listener_socket
+        yield from conn.passive_open(tcp_hdr, priority)
+
+    # ------------------------------------------------------------------
+    # Listener registration
+    # ------------------------------------------------------------------
+    def create_listener(self, socket, port: int) -> TCPConnection:
+        pcb = PCB(local_ip=self.host.address.ip, local_port=port)
+        self.pcbs.insert(pcb)
+        conn = TCPConnection(self.host, socket, pcb, iss=self.next_iss())
+        conn.state = TCPState.LISTEN
+        self.connections.append(conn)
+        return conn

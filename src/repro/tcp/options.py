@@ -1,0 +1,75 @@
+"""TCP option encoding: MSS and the Alternate Checksum request.
+
+The paper's §4.2 checksum elimination follows Kay and Pasquale [8]: the
+ends negotiate a no-checksum connection with the Alternate Checksum
+Option (RFC 1146, kind 14; algorithm number 0 would be the standard
+checksum, and we use the reserved value 255 to mean "none", as a
+local-area experiment would).  Both SYNs must carry the option for it to
+take effect; otherwise the connection falls back to the standard
+checksum — this asymmetric fallback is tested explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TCPOptions", "ALT_CKSUM_NONE"]
+
+_KIND_EOL = 0
+_KIND_NOP = 1
+_KIND_MSS = 2
+_KIND_ALTCKSUM = 14
+
+#: Alternate-checksum algorithm id meaning "no checksum" (local use).
+ALT_CKSUM_NONE = 255
+
+
+@dataclass
+class TCPOptions:
+    """Parsed TCP options relevant to this stack."""
+
+    mss: Optional[int] = None
+    alt_checksum: Optional[int] = None
+
+    def encode(self) -> bytes:
+        """Serialize to wire format, padded to a multiple of 4 bytes."""
+        out = bytearray()
+        if self.mss is not None:
+            if not 1 <= self.mss <= 0xFFFF:
+                raise ValueError(f"MSS out of range: {self.mss}")
+            out += bytes([_KIND_MSS, 4, self.mss >> 8, self.mss & 0xFF])
+        if self.alt_checksum is not None:
+            out += bytes([_KIND_ALTCKSUM, 3, self.alt_checksum])
+        while len(out) % 4:
+            out += bytes([_KIND_NOP])
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TCPOptions":
+        """Parse wire-format options, ignoring unknown kinds."""
+        opts = cls()
+        i = 0
+        while i < len(data):
+            kind = data[i]
+            if kind == _KIND_EOL:
+                break
+            if kind == _KIND_NOP:
+                i += 1
+                continue
+            if i + 1 >= len(data):
+                break  # truncated option
+            length = data[i + 1]
+            if length < 2 or i + length > len(data):
+                break  # malformed; stop parsing
+            body = data[i + 2:i + length]
+            if kind == _KIND_MSS and len(body) == 2:
+                opts.mss = (body[0] << 8) | body[1]
+            elif kind == _KIND_ALTCKSUM and len(body) == 1:
+                opts.alt_checksum = body[0]
+            i += length
+        return opts
+
+    @property
+    def wants_no_checksum(self) -> bool:
+        return self.alt_checksum == ALT_CKSUM_NONE

@@ -1,0 +1,117 @@
+"""Partial-checksum coverage for the integrated-checksum kernel.
+
+§4.1.1 of the paper: the socket layer checksums each chunk of data as it
+copies it into an mbuf and stores the partial sum in the mbuf header;
+TCP can combine the partials instead of re-checksumming — *as long as
+all of the data in the mbuf is transmitted in the same TCP segment*.
+
+The paper suggests two improvements when segment boundaries cut through
+mbufs, both implemented here:
+
+* **segment-size prediction** — the socket layer chunks its copy at the
+  connection's current MSS, so mbuf boundaries coincide with segment
+  boundaries (``KernelConfig.socket_segment_prediction``);
+* **multiple chunks per mbuf** — store several partial sums per mbuf so
+  a boundary that lands between sub-chunks still leaves most of the
+  data's checksum reusable (``KernelConfig.partial_chunks_per_mbuf``).
+
+:func:`coverage_for_span` computes, for one segment's byte span over the
+socket-buffer chain, how many bytes are covered by stored partials and
+how many must be recomputed — both the functional raw sums and the cost
+inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.checksum.internet import byte_swap16, fold, raw_sum
+from repro.mem.mbuf import Mbuf, MbufChain
+
+__all__ = ["Coverage", "chunk_partial_sums", "coverage_for_span"]
+
+
+@dataclass
+class Coverage:
+    """Result of matching a segment span against stored partials."""
+
+    covered_bytes: int
+    uncovered_bytes: int
+    chunks_combined: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.covered_bytes + self.uncovered_bytes
+
+    @property
+    def full(self) -> bool:
+        return self.uncovered_bytes == 0 and self.total_bytes > 0
+
+
+def chunk_partial_sums(data: bytes, chunks: int) -> List[Tuple[int, int]]:
+    """Split *data* into *chunks* roughly equal pieces and sum each.
+
+    This is the §4.1.1 "more than one checksum per mbuf" alternative;
+    chunk boundaries are kept even so the sums combine without
+    byte-swaps inside the mbuf.
+    """
+    if chunks < 1:
+        raise ValueError("need at least one chunk")
+    n = len(data)
+    if n == 0:
+        return [(0, 0)]
+    base = max(2, -(-n // chunks))
+    if base % 2:
+        base += 1  # keep interior boundaries even
+    sums = []
+    offset = 0
+    while offset < n:
+        piece = data[offset:offset + base]
+        sums.append((raw_sum(piece), len(piece)))
+        offset += len(piece)
+    return sums
+
+
+def _mbuf_chunks(mbuf: Mbuf) -> Optional[List[Tuple[int, int, int]]]:
+    """Stored chunks of an mbuf as (start, length, raw_sum) triples."""
+    stored = mbuf.partial_sum
+    if stored is None:
+        return None
+    if isinstance(stored, tuple):
+        stored = [stored]
+    out = []
+    pos = 0
+    for part_sum, length in stored:
+        out.append((pos, length, part_sum))
+        pos += length
+    if pos != len(mbuf):
+        return None  # stale/incomplete coverage
+    return out
+
+
+def coverage_for_span(chain: MbufChain, offset: int,
+                      length: int) -> Coverage:
+    """How much of ``chain[offset:offset+length]`` stored partials cover.
+
+    A stored chunk counts as covered only if the span contains it
+    entirely; bytes of partially overlapped chunks must be re-summed
+    (the checksum of a fragment cannot be derived from the whole chunk's
+    sum).
+    """
+    covered = 0
+    chunks_used = 0
+    for mbuf, start, take in chain.mbufs_spanning(offset, length):
+        chunks = _mbuf_chunks(mbuf)
+        if chunks is None:
+            continue
+        span_end = start + take
+        for cstart, clen, _csum in chunks:
+            if clen == 0:
+                continue
+            if cstart >= start and cstart + clen <= span_end:
+                covered += clen
+                chunks_used += 1
+    return Coverage(covered_bytes=covered,
+                    uncovered_bytes=length - covered,
+                    chunks_combined=chunks_used)

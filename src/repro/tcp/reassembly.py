@@ -1,0 +1,87 @@
+"""TCP out-of-order segment reassembly queue (tcp_reass)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.tcp.seq import seq_add, seq_diff, seq_geq, seq_leq, seq_lt
+
+__all__ = ["ReassemblyQueue"]
+
+
+class ReassemblyQueue:
+    """Out-of-order segments held until the sequence gap fills.
+
+    Segments are kept sorted by sequence number with overlaps trimmed in
+    favour of data already queued (matching BSD's tcp_reass preference
+    for the earlier arrival).
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[Tuple[int, bytes]] = []
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def empty(self) -> bool:
+        return not self._segments
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(len(data) for _, data in self._segments)
+
+    def insert(self, seq: int, data: bytes) -> None:
+        """Queue an out-of-order segment, trimming overlaps.
+
+        Data already queued wins on overlap (BSD's preference for the
+        earlier arrival); a segment spanning a queued one is split and
+        both non-overlapping pieces are kept.
+        """
+        i = 0
+        while data and i < len(self._segments):
+            qseq, qdata = self._segments[i]
+            qend = seq_add(qseq, len(qdata))
+            if seq_lt(seq, qseq):
+                # Insert the piece that fits before this queued segment,
+                # then keep processing whatever extends past it.
+                head_len = min(len(data), seq_diff(qseq, seq))
+                self._segments.insert(i, (seq, data[:head_len]))
+                i += 1
+                data = data[head_len:]
+                seq = seq_add(seq, head_len)
+                continue
+            if seq_lt(seq, qend):
+                # Overlaps the queued segment: drop the shared bytes.
+                skip = min(len(data), seq_diff(qend, seq))
+                data = data[skip:]
+                seq = seq_add(seq, skip)
+            i += 1
+        if data:
+            self._segments.append((seq, data))
+
+    def drain(self, rcv_nxt: int) -> Tuple[bytes, int]:
+        """Pull out data contiguous with *rcv_nxt*.
+
+        Returns ``(data, new_rcv_nxt)``; queued segments that became
+        obsolete (entirely below rcv_nxt) are discarded.
+        """
+        out = bytearray()
+        nxt = rcv_nxt
+        while self._segments:
+            qseq, qdata = self._segments[0]
+            end = seq_add(qseq, len(qdata))
+            if seq_leq(end, nxt):
+                self._segments.pop(0)  # fully duplicate
+                continue
+            if seq_lt(nxt, qseq):
+                break  # gap remains
+            skip = seq_diff(nxt, qseq)
+            out.extend(qdata[skip:])
+            nxt = end
+            self._segments.pop(0)
+        return bytes(out), nxt
+
+    def __repr__(self) -> str:
+        return (f"<ReassemblyQueue {len(self._segments)} segments, "
+                f"{self.buffered_bytes} bytes>")

@@ -1,0 +1,39 @@
+"""32-bit TCP sequence-number arithmetic (RFC 793 modular comparisons)."""
+
+from __future__ import annotations
+
+__all__ = ["seq_lt", "seq_leq", "seq_gt", "seq_geq", "seq_add", "seq_diff",
+           "SEQ_MOD"]
+
+SEQ_MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def seq_add(a: int, n: int) -> int:
+    """a + n modulo 2^32."""
+    return (a + n) % SEQ_MOD
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed distance a - b interpreted in the half-window sense."""
+    d = (a - b) % SEQ_MOD
+    if d >= _HALF:
+        d -= SEQ_MOD
+    return d
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """a < b in sequence space."""
+    return seq_diff(a, b) < 0
+
+
+def seq_leq(a: int, b: int) -> bool:
+    return seq_diff(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_diff(a, b) > 0
+
+
+def seq_geq(a: int, b: int) -> bool:
+    return seq_diff(a, b) >= 0

@@ -1,0 +1,41 @@
+"""TCP connection states and protocol constants."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["TCPState", "TCP_DEFAULT_MSS", "MAX_RTX_SHIFT"]
+
+#: RFC 1122 default MSS used before negotiation.
+TCP_DEFAULT_MSS = 512
+
+#: Maximum retransmission backoff shifts before the connection drops.
+MAX_RTX_SHIFT = 12
+
+
+class TCPState(Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn_sent"
+    SYN_RECEIVED = "syn_received"
+    ESTABLISHED = "established"
+    CLOSE_WAIT = "close_wait"
+    FIN_WAIT_1 = "fin_wait_1"
+    FIN_WAIT_2 = "fin_wait_2"
+    CLOSING = "closing"
+    LAST_ACK = "last_ack"
+    TIME_WAIT = "time_wait"
+
+    @property
+    def can_receive_data(self) -> bool:
+        return self in (TCPState.ESTABLISHED, TCPState.FIN_WAIT_1,
+                        TCPState.FIN_WAIT_2)
+
+    @property
+    def can_send_data(self) -> bool:
+        return self in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT)
+
+    @property
+    def synchronized(self) -> bool:
+        return self not in (TCPState.CLOSED, TCPState.LISTEN,
+                            TCPState.SYN_SENT)

@@ -1,0 +1,6 @@
+"""UDP: datagram transport with the genuine optional checksum."""
+
+from repro.udp.layer import PROTO_UDP, UDPHeader, UDPLayer, UDPStats
+from repro.udp.socket import UDPSocket
+
+__all__ = ["PROTO_UDP", "UDPHeader", "UDPLayer", "UDPSocket", "UDPStats"]

@@ -1,0 +1,175 @@
+"""UDP: the datagram transport the paper's §4.2 checksum discussion
+leans on ("it is already common practice to eliminate the UDP checksum
+for local area NFS traffic", citing Kay & Pasquale's DECstation work).
+
+A real, minimal UDP: genuine headers, the genuine optional-checksum
+semantics (a zero checksum field on the wire means "not computed" — the
+original protocol feature the paper's TCP option imitates), and the same
+cost accounting as the rest of the stack.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Deque, Dict, Generator, Optional, Tuple
+
+from repro.checksum.internet import fold, raw_sum
+from repro.net.headers import IPHeader, pseudo_header_sum
+from repro.net.packet import Packet
+from repro.sim.cpu import Priority
+from repro.sim.engine import us
+
+__all__ = ["PROTO_UDP", "UDP_HEADER_LEN", "UDPHeader", "UDPLayer",
+           "UDPStats"]
+
+PROTO_UDP = 17
+UDP_HEADER_LEN = 8
+_UDP_STRUCT = struct.Struct(">HHHH")
+
+
+class UDPHeader:
+    """An 8-byte UDP header."""
+
+    __slots__ = ("src_port", "dst_port", "length", "checksum")
+
+    def __init__(self, src_port: int, dst_port: int, length: int,
+                 checksum: int = 0):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
+        self.checksum = checksum
+
+    def pack(self) -> bytes:
+        return _UDP_STRUCT.pack(self.src_port, self.dst_port,
+                                self.length, self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError(f"short UDP header: {len(data)} bytes")
+        return cls(*_UDP_STRUCT.unpack(data[:UDP_HEADER_LEN]))
+
+
+def udp_checksum(src_ip: int, dst_ip: int, header: UDPHeader,
+                 payload: bytes) -> int:
+    """The UDP checksum (pseudo-header + header-with-zero-cksum + data);
+    an all-zero result is transmitted as 0xFFFF per RFC 768."""
+    pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, header.length)
+    body = _UDP_STRUCT.pack(header.src_port, header.dst_port,
+                            header.length, 0) + payload
+    value = (~fold(raw_sum(body) + pseudo)) & 0xFFFF
+    return value if value != 0 else 0xFFFF
+
+
+class UDPStats:
+    __slots__ = ("datagrams_sent", "datagrams_received", "cksum_errors",
+                 "no_port_drops", "cksum_skipped")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+
+class UDPLayer:
+    """Per-host UDP: port table, output, and the ipintr input hook."""
+
+    def __init__(self, host):
+        self.host = host
+        self.stats = UDPStats()
+        #: port -> deque of (payload, src_ip, src_port)
+        self._ports: Dict[int, Deque[Tuple[bytes, int, int]]] = {}
+        self._next_port = 10_000
+        host.ip.register_protocol(PROTO_UDP, self.input)
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind(self, port: Optional[int] = None) -> int:
+        """Claim a port; returns it (allocating an ephemeral if None)."""
+        if port is None:
+            while self._next_port in self._ports:
+                self._next_port += 1
+            port = self._next_port
+            self._next_port += 1
+        if port in self._ports:
+            raise ValueError(f"UDP port {port} already bound")
+        self._ports[port] = deque()
+        return port
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def queue_for(self, port: int) -> Deque[Tuple[bytes, int, int]]:
+        return self._ports[port]
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def output(self, src_port: int, dst_ip: int, dst_port: int,
+               payload: bytes, priority: int = Priority.KERNEL,
+               ) -> Generator:
+        """udp_output: header, optional checksum, hand to IP."""
+        costs = self.host.costs
+        header = UDPHeader(src_port, dst_port,
+                           UDP_HEADER_LEN + len(payload))
+        with_cksum = self.host.config.udp_checksum
+        if with_cksum:
+            header.checksum = udp_checksum(
+                self.host.address.ip, dst_ip, header, payload)
+            yield from self.host.charge(
+                costs.cksum_kernel.ns(UDP_HEADER_LEN + 20 + len(payload)),
+                priority, "udp cksum", span="tx.udp.checksum")
+        yield from self.host.charge(
+            us(costs.udp_output_us), priority, "udp_output",
+            span="tx.udp")
+        ip_hdr = IPHeader(src=self.host.address.ip, dst=dst_ip,
+                          total_length=0, protocol=PROTO_UDP,
+                          identification=self.host.ip.next_ident())
+        data = header.pack() + payload
+        ip_hdr.total_length = 20 + len(data)
+        packet = Packet(ip_hdr.pack() + data)
+        self.stats.datagrams_sent += 1
+        yield from self.host.ip.output(packet, priority,
+                                       data_bearing=True)
+
+    # ------------------------------------------------------------------
+    # Input (from ipintr)
+    # ------------------------------------------------------------------
+    def input(self, packet: Packet) -> Generator:
+        costs = self.host.costs
+        ip_hdr = packet.ip_header
+        body = packet.data[20:]
+        try:
+            header = UDPHeader.unpack(body)
+        except ValueError:
+            self.stats.cksum_errors += 1
+            return
+        payload = body[UDP_HEADER_LEN:header.length]
+        yield from self.host.charge(
+            us(costs.udp_input_us), Priority.SOFT_INTR, "udp_input",
+            span="rx.udp")
+        if header.checksum != 0:
+            # The sender computed a checksum: verify it.
+            yield from self.host.charge(
+                costs.cksum_kernel.ns(UDP_HEADER_LEN + 20 + len(payload)),
+                Priority.SOFT_INTR, "udp cksum", span="rx.udp.checksum")
+            expected = udp_checksum(ip_hdr.src, ip_hdr.dst,
+                                    UDPHeader(header.src_port,
+                                              header.dst_port,
+                                              header.length),
+                                    payload)
+            if expected != header.checksum:
+                self.stats.cksum_errors += 1
+                return
+        else:
+            self.stats.cksum_skipped += 1
+        queue = self._ports.get(header.dst_port)
+        if queue is None:
+            self.stats.no_port_drops += 1
+            return
+        queue.append((payload, ip_hdr.src, header.src_port))
+        self.stats.datagrams_received += 1
+        yield from self.host.scheduler.wakeup(
+            ("udp", self.host.name, header.dst_port),
+            Priority.SOFT_INTR)

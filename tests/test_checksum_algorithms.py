@@ -1,0 +1,129 @@
+"""Tests for the §4.1 checksum/copy algorithm cost models."""
+
+import pytest
+
+from repro.checksum import (
+    Bcopy,
+    IntegratedCopyChecksum,
+    OptimizedChecksum,
+    UltrixChecksum,
+    internet_checksum,
+    fold,
+    separate_copy_and_checksum_ns,
+)
+from repro.hw import decstation_5000_200, sun_3
+
+PAPER_SIZES = [4, 20, 80, 200, 500, 1400, 4000, 8000]
+
+#: Table 5 of the paper, all values in microseconds.
+TABLE5 = {
+    #      ultrix bcopy  optimized integrated
+    4:    (5,     4,     3,        3),
+    20:   (7,     5,     4,        5),
+    80:   (20,    11,    9,        10),
+    200:  (43,    20,    21,       24),
+    500:  (104,   47,    49,       56),
+    1400: (283,   124,   134,      153),
+    4000: (807,   350,   378,      430),
+    8000: (1605,  698,   754,      864),
+}
+
+
+@pytest.fixture(scope="module")
+def dec():
+    return decstation_5000_200()
+
+
+def assert_close(measured, expected, rel=0.20, abs_tol=2.5):
+    assert measured == pytest.approx(expected, rel=rel, abs=abs_tol), (
+        f"measured {measured:.1f}us vs paper {expected}us"
+    )
+
+
+class TestCostCalibration:
+    """The fitted cost lines reproduce Table 5 within tolerance."""
+
+    @pytest.mark.parametrize("size", PAPER_SIZES)
+    def test_ultrix_checksum(self, dec, size):
+        assert_close(UltrixChecksum(dec).cost_us(size), TABLE5[size][0])
+
+    @pytest.mark.parametrize("size", PAPER_SIZES)
+    def test_bcopy(self, dec, size):
+        assert_close(Bcopy(dec).cost_us(size), TABLE5[size][1])
+
+    @pytest.mark.parametrize("size", PAPER_SIZES)
+    def test_optimized_checksum(self, dec, size):
+        assert_close(OptimizedChecksum(dec).cost_us(size), TABLE5[size][2])
+
+    @pytest.mark.parametrize("size", PAPER_SIZES)
+    def test_integrated(self, dec, size):
+        assert_close(IntegratedCopyChecksum(dec).cost_us(size),
+                     TABLE5[size][3])
+
+
+class TestFunctionalEquivalence:
+    """All checksum variants compute the same (correct) checksum."""
+
+    def test_all_variants_agree(self, dec):
+        data = bytes(range(256)) * 3
+        expected = internet_checksum(data)
+        ultrix_sum, _ = UltrixChecksum(dec).run(data)
+        optimized_sum, _ = OptimizedChecksum(dec).run(data)
+        copied, integrated_sum, _ = IntegratedCopyChecksum(dec).run(data)
+        assert (~fold(ultrix_sum)) & 0xFFFF == expected
+        assert (~fold(optimized_sum)) & 0xFFFF == expected
+        assert (~fold(integrated_sum)) & 0xFFFF == expected
+        assert copied == data
+
+    def test_bcopy_copies(self, dec):
+        data = b"some payload"
+        copied, cost = Bcopy(dec).run(data)
+        assert copied == data
+        assert cost > 0
+
+
+class TestPaperClaims:
+    def test_integration_saves_about_40_percent_at_8000(self, dec):
+        separate = separate_copy_and_checksum_ns(dec, 8000)
+        integrated = IntegratedCopyChecksum(dec).cost_ns(8000)
+        saving = 1 - integrated / separate
+        assert 0.35 < saving < 0.45  # paper: 40%
+
+    def test_savings_column_shape(self, dec):
+        """Savings are largest for tiny buffers and settle near 40%."""
+        savings = []
+        for size in PAPER_SIZES:
+            separate = separate_copy_and_checksum_ns(dec, size)
+            integrated = IntegratedCopyChecksum(dec).cost_ns(size)
+            savings.append(1 - integrated / separate)
+        assert savings[0] > 0.45          # paper: 57% at 4 bytes
+        assert 0.35 < savings[-1] < 0.45  # paper: 40% at 8000 bytes
+
+    def test_integrated_bandwidth_just_above_9_mb_s(self, dec):
+        bw = dec.copy_cksum_integrated.bandwidth_mb_s(8000)
+        assert 9.0 < bw < 10.0  # paper: "just above 9 MB/s"
+
+    def test_optimized_beats_ultrix_everywhere(self, dec):
+        for size in PAPER_SIZES:
+            assert (OptimizedChecksum(dec).cost_ns(size)
+                    < UltrixChecksum(dec).cost_ns(size))
+
+    def test_sun3_vs_decstation_1kb(self):
+        """§4.1: Sun-3 1 KB: cksum 130, copy 140, combined 200 (µs);
+        DECstation: 96, 91, 111.  Savings 35% vs 68%, overall 80%."""
+        sun = sun_3()
+        dec = decstation_5000_200()
+        kb = 1024
+        sun_sep = (OptimizedChecksum(sun).cost_us(kb)
+                   + Bcopy(sun).cost_us(kb))
+        sun_comb = IntegratedCopyChecksum(sun).cost_us(kb)
+        dec_sep = (OptimizedChecksum(dec).cost_us(kb)
+                   + Bcopy(dec).cost_us(kb))
+        dec_comb = IntegratedCopyChecksum(dec).cost_us(kb)
+        assert sun_comb == pytest.approx(200, rel=0.05)
+        assert dec_comb == pytest.approx(111, rel=0.08)
+        # Savings expressed as (separate - combined) / combined.
+        assert (sun_sep - sun_comb) / sun_comb == pytest.approx(0.35, abs=0.05)
+        assert (dec_sep - dec_comb) / dec_comb == pytest.approx(0.68, abs=0.08)
+        # Overall platform improvement: 200/111 - 1 ~= 80%.
+        assert sun_comb / dec_comb - 1 == pytest.approx(0.80, abs=0.08)

@@ -1,0 +1,60 @@
+"""Tests proving the cost constants are fits of the paper's data."""
+
+import pytest
+
+from repro.core.calibration import (
+    calibration_report,
+    fit_line,
+    fit_pcb_line,
+    fit_table5,
+)
+from repro.hw import decstation_5000_200
+
+
+class TestFitLine:
+    def test_perfect_line_recovered(self):
+        points = [(x, 5.0 + 0.25 * x) for x in (4, 100, 1000, 8000)]
+        fit = fit_line("synthetic", points)
+        assert fit.fixed_us == pytest.approx(5.0)
+        assert fit.per_byte_us == pytest.approx(0.25)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.max_residual_us < 1e-9
+
+    def test_as_cost_rounds(self):
+        fit = fit_line("x", [(0, 1.234567), (100, 11.234567)])
+        cost = fit.as_cost()
+        assert cost.fixed_us == pytest.approx(1.23, abs=0.01)
+
+
+class TestTable5Provenance:
+    @pytest.fixture(scope="class")
+    def fits(self):
+        return fit_table5()
+
+    def test_all_columns_are_excellent_lines(self, fits):
+        """The paper's Table 5 columns are linear to R^2 > 0.999 —
+        which is what justifies LinearCost as the model form."""
+        for fit in fits.values():
+            assert fit.r_squared > 0.999, fit.name
+
+    def test_baked_constants_match_fits(self, fits):
+        """The constants in repro.hw.costs are the fits (within the
+        rounding slack of the small-size points)."""
+        machine = decstation_5000_200()
+        for name, fit in fits.items():
+            baked = getattr(machine, name)
+            assert baked.per_byte_us == pytest.approx(
+                fit.per_byte_us, rel=0.02), name
+            assert baked.fixed_us == pytest.approx(
+                fit.fixed_us, abs=1.0), name
+
+    def test_pcb_slope_matches(self):
+        fit = fit_pcb_line()
+        machine = decstation_5000_200()
+        assert machine.pcb_search_per_entry_us == pytest.approx(
+            fit.per_byte_us, rel=0.05)
+
+    def test_report_renders(self):
+        text = calibration_report()
+        assert "cksum_ultrix" in text
+        assert "R^2" in text

@@ -1,0 +1,121 @@
+"""Tests for the packet log and the bulk-throughput harness."""
+
+import pytest
+
+from repro.core import attach_packet_log, run_bulk_throughput
+from repro.core.experiment import (
+    SERVER_PORT,
+    RoundTripBenchmark,
+    payload_pattern,
+)
+from repro.core.testbed import build_atm_pair
+from repro.kern.config import ChecksumMode, KernelConfig
+from repro.net.headers import TCPFlags
+
+
+def traced_echo(size, iterations=2):
+    tb = build_atm_pair()
+    log = attach_packet_log(tb)
+    bench = RoundTripBenchmark(tb, size=size, iterations=iterations,
+                               warmup=0)
+    bench.run()
+    return tb, log
+
+
+class TestPacketLog:
+    def test_handshake_visible(self):
+        _, log = traced_echo(100)
+        flags = [e.flags for e in log.filter(host="client",
+                                             direction="tx")]
+        assert flags[0] & TCPFlags.SYN
+        # The server's SYN|ACK was received by the client.
+        rx_flags = [e.flags for e in log.filter(host="client",
+                                                direction="rx")]
+        assert rx_flags[0] & TCPFlags.SYN and rx_flags[0] & TCPFlags.ACK
+
+    def test_every_tx_has_matching_rx(self):
+        tb, log = traced_echo(200, iterations=3)
+        tx = log.filter(host="client", direction="tx")
+        rx = log.filter(host="server", direction="rx")
+        assert len(tx) == len(rx)
+        for t, r in zip(tx, rx):
+            assert t.seq == r.seq and t.payload_len == r.payload_len
+            assert r.time_us > t.time_us  # wire + processing delay
+
+    def test_rpc_acks_piggyback(self):
+        _, log = traced_echo(200, iterations=4)
+        # Each data segment from the server carries a fresh ACK.
+        server_data = log.filter(host="server", direction="tx",
+                                 data_only=True)
+        assert server_data
+        for e in server_data:
+            assert e.flags & TCPFlags.ACK
+
+    def test_two_segment_transfer_produces_standalone_ack(self):
+        tb, log = traced_echo(8000, iterations=3)
+        acks = log.pure_acks(host="server")
+        # ack-every-2: at least one standalone ACK per 8000-byte leg.
+        assert len(acks) >= 2
+
+    def test_format_output(self):
+        _, log = traced_echo(100)
+        text = log.format(limit=3)
+        assert "SYN" in text
+        assert "10.0.0.1" in text
+        assert len(text.splitlines()) == 3
+
+    def test_clear(self):
+        _, log = traced_echo(100)
+        assert len(log) > 0
+        log.clear()
+        assert len(log) == 0
+
+    def test_sequence_numbers_monotone_per_direction(self):
+        _, log = traced_echo(8000, iterations=3)
+        data = log.filter(host="client", direction="tx", data_only=True)
+        seqs = [e.seq for e in data]
+        assert seqs == sorted(seqs)
+
+
+class TestBulkThroughput:
+    @pytest.fixture(scope="class")
+    def standard(self):
+        return run_bulk_throughput(total_bytes=150_000)
+
+    def test_transfer_completes_loss_free(self, standard):
+        assert standard.retransmits == 0
+        assert standard.data_segments >= 150_000 // 4096
+
+    def test_goodput_in_era_plausible_range(self, standard):
+        # The receiver's drain+checksum path bounds goodput in the
+        # single-digit MB/s range on this hardware model.
+        assert 0.8 < standard.goodput_mb_s < 6.0
+
+    def test_receiver_is_the_bottleneck(self, standard):
+        assert standard.receiver_cpu_busy_frac > \
+            standard.sender_cpu_busy_frac
+        assert standard.receiver_cpu_busy_frac > 0.6
+
+    def test_checksum_modes_order_throughput(self):
+        """§4.2: eliminating (or integrating) the checksum benefits
+        throughput-oriented applications too."""
+        results = {
+            mode: run_bulk_throughput(total_bytes=150_000,
+                                      checksum_mode=mode)
+            for mode in (ChecksumMode.STANDARD, ChecksumMode.INTEGRATED,
+                         ChecksumMode.OFF)
+        }
+        std = results[ChecksumMode.STANDARD].goodput_mb_s
+        integ = results[ChecksumMode.INTEGRATED].goodput_mb_s
+        off = results[ChecksumMode.OFF].goodput_mb_s
+        assert off > integ > std
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError):
+            run_bulk_throughput(total_bytes=1000, network="fddi")
+
+    def test_ethernet_wire_limited(self):
+        result = run_bulk_throughput(total_bytes=60_000,
+                                     network="ethernet")
+        # 10 Mb/s Ethernet caps goodput near 1.1 MB/s even before CPU.
+        assert result.goodput_mb_s < 1.2

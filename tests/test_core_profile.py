@@ -1,0 +1,70 @@
+"""Tests for the CPU cycles profile."""
+
+import pytest
+
+from repro.core.experiment import RoundTripBenchmark
+from repro.core.profile import categorize, format_profile, profile_host
+from repro.core.testbed import build_atm_pair
+from repro.kern.config import ChecksumMode, KernelConfig
+from repro.sim.engine import to_us
+
+
+class TestCategorize:
+    @pytest.mark.parametrize("label,expected", [
+        ("tcp cksum", "checksum"),
+        ("udp cksum", "checksum"),
+        ("sosend copyin", "copies"),
+        ("soreceive copyout", "copies"),
+        ("tcp mcopy", "copies"),
+        ("tcp_output", "tcp protocol"),
+        ("pcb lookup", "tcp protocol"),
+        ("ip_output", "ip"),
+        ("atm rx drain", "driver"),
+        ("ether tx", "driver"),
+        ("softint-dispatch", "scheduling"),
+        ("cswitch", "scheduling"),
+        ("syscall entry", "scheduling"),
+        ("mystery-job", "other"),
+    ])
+    def test_label_mapping(self, label, expected):
+        assert categorize(label) == expected
+
+
+class TestProfileHost:
+    @pytest.fixture(scope="class")
+    def ran(self):
+        tb = build_atm_pair()
+        RoundTripBenchmark(tb, size=1400, iterations=6, warmup=1).run()
+        return tb
+
+    def test_categories_present(self, ran):
+        profile = profile_host(ran.server)
+        for category in ("checksum", "copies", "tcp protocol", "ip",
+                         "driver", "scheduling"):
+            assert profile.get(category, 0) > 0, category
+
+    def test_profile_sums_to_cpu_busy(self, ran):
+        profile = profile_host(ran.server)
+        assert sum(profile.values()) == pytest.approx(
+            to_us(ran.server.cpu.busy_ns), rel=0.01)
+
+    def test_data_touching_dominates_large_transfers(self, ran):
+        """§2.3: copying and checksumming dominate above 200 bytes."""
+        profile = profile_host(ran.server)
+        data_touching = profile["checksum"] + profile["copies"]
+        assert data_touching > 0.35 * sum(profile.values())
+
+    def test_checksum_share_vanishes_when_eliminated(self):
+        tb = build_atm_pair(config=KernelConfig(
+            checksum_mode=ChecksumMode.OFF))
+        RoundTripBenchmark(tb, size=1400, iterations=6, warmup=1).run()
+        profile = profile_host(tb.server)
+        total = sum(profile.values())
+        # Only handshake-time checksums remain.
+        assert profile.get("checksum", 0) < 0.03 * total
+
+    def test_format_contains_bars_and_total(self, ran):
+        text = format_profile(ran.server)
+        assert "total busy" in text
+        assert "#" in text
+        assert ran.server.name in text

@@ -1,0 +1,101 @@
+"""Tests for the report formatting utilities."""
+
+import pytest
+
+from repro.core.report import (
+    ascii_chart,
+    format_comparison_table,
+    format_table,
+    pct_change,
+)
+
+
+class TestPctChange:
+    def test_decrease(self):
+        assert pct_change(200, 100) == 50.0
+
+    def test_increase_is_negative(self):
+        assert pct_change(100, 122) == pytest.approx(-22.0)
+
+    def test_zero_base(self):
+        assert pct_change(0, 100) == 0.0
+
+    def test_no_change(self):
+        assert pct_change(100, 100) == 0.0
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table("Title", ("a", "b"), [(1, 2.5), (3, 4.0)])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert "2.5" in lines[3]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table("t", ("x",), [(1.23456,)])
+        assert "1.2" in text
+
+    def test_empty_rows(self):
+        text = format_table("t", ("x",), [])
+        assert "t" in text
+
+
+class TestComparisonTable:
+    def test_with_paper_columns(self):
+        text = format_comparison_table(
+            "cmp", [4, 20],
+            {"rtt": {4: 1000.0, 20: 1100.0}},
+            paper={"rtt": {4: 1021.0, 20: 1039.0}})
+        assert "rtt(paper)" in text
+        assert "1021.0" in text
+
+    def test_missing_value_is_nan(self):
+        text = format_comparison_table("cmp", [4, 8],
+                                       {"rtt": {4: 1.0}})
+        assert "nan" in text
+
+
+class TestAsciiChart:
+    def make(self, **kwargs):
+        return ascii_chart(
+            "chart", [4, 20, 80],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]}, **kwargs)
+
+    def test_contains_title_and_legend(self):
+        text = self.make()
+        assert text.splitlines()[0] == "chart"
+        assert "a" in text.splitlines()[1]
+        assert "b" in text.splitlines()[1]
+
+    def test_axis_labels(self):
+        text = self.make()
+        assert "3" in text  # max label
+        assert "1" in text  # min label
+        assert "80" in text.splitlines()[-1]
+
+    def test_marks_present(self):
+        text = self.make()
+        assert "*" in text and "+" in text
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart("t", [1], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("t", [1, 2], {"a": [1.0]})
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart("t", [1, 2], {"a": [5.0, 5.0]})
+        assert "t" in text
+
+    def test_single_point(self):
+        text = ascii_chart("t", [1], {"a": [2.0]})
+        assert "t" in text
+
+    def test_custom_dimensions(self):
+        text = self.make(height=5, width=30)
+        # height rows + title + legend + 2 axis lines + labels
+        assert len(text.splitlines()) == 5 + 5

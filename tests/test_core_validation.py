@@ -1,0 +1,50 @@
+"""Tests for the one-call reproduction validation."""
+
+import pytest
+
+from repro.core.validation import (
+    ArtifactScore,
+    ValidationReport,
+    validate_reproduction,
+)
+
+
+class TestValidationReport:
+    def test_all_passed_logic(self):
+        report = ValidationReport(scores=[
+            ArtifactScore("a", True, 1.0),
+            ArtifactScore("b", True, 2.0),
+        ])
+        assert report.all_passed
+        report.scores.append(ArtifactScore("c", False, 50.0))
+        assert not report.all_passed
+
+    def test_format_marks(self):
+        report = ValidationReport(scores=[
+            ArtifactScore("good", True, 1.0, notes="fine"),
+            ArtifactScore("bad", False, 50.0),
+        ])
+        text = report.format()
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "fine" in text
+
+
+class TestFullValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_reproduction(iterations=5, warmup=2)
+
+    def test_every_artifact_passes(self, report):
+        failing = [s.artifact for s in report.scores if not s.passed]
+        assert not failing, f"failing artifacts: {failing}"
+
+    def test_covers_the_headline_artifacts(self, report):
+        names = {s.artifact for s in report.scores}
+        assert any("Table 1" in n for n in names)
+        assert any("Table 6" in n for n in names)
+        assert any("Table 7" in n for n in names)
+        assert any("PCB" in n for n in names)
+
+    def test_deviations_bounded(self, report):
+        assert all(s.max_abs_deviation_pct < 25 for s in report.scores)

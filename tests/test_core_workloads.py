@@ -1,0 +1,63 @@
+"""Tests for the RPC traffic-mix workloads."""
+
+import pytest
+
+from repro.core.workloads import (
+    BULKY_MIX,
+    LRPC_MIX,
+    NFS_MIX,
+    RPCMix,
+    run_mix,
+)
+from repro.kern.config import ChecksumMode, KernelConfig
+
+
+class TestMixDefinitions:
+    def test_normalized_weights_sum_to_one(self):
+        for mix in (LRPC_MIX, NFS_MIX, BULKY_MIX):
+            total = sum(c.weight for c in mix.normalized())
+            assert total == pytest.approx(1.0)
+
+    def test_mixes_named(self):
+        assert LRPC_MIX.name == "lrpc-small"
+        assert {c.reply for c in NFS_MIX.calls} == {120, 500, 8000}
+
+
+class TestRunMix:
+    @pytest.fixture(scope="class")
+    def lrpc(self):
+        return run_mix(LRPC_MIX, iterations=3, warmup=1)
+
+    def test_every_call_class_measured(self, lrpc):
+        assert len(lrpc.per_call_us) == len(LRPC_MIX.calls)
+        assert all(v > 0 for v in lrpc.per_call_us.values())
+
+    def test_weighted_mean_between_extremes(self, lrpc):
+        values = list(lrpc.per_call_us.values())
+        assert min(values) <= lrpc.weighted_mean_us <= max(values)
+
+    def test_latency_ordering_by_size(self, lrpc):
+        small = lrpc.per_call_us[(32, 32)]
+        large = lrpc.per_call_us[(500, 1400)]
+        assert large > small
+
+    def test_small_mix_insensitive_to_checksum(self):
+        """For LRPC-style traffic (mostly tiny calls), eliminating the
+        checksum barely moves the weighted mean — §4.2's size
+        dependence, seen through a realistic mix."""
+        std = run_mix(LRPC_MIX, iterations=3, warmup=1)
+        off = run_mix(LRPC_MIX, iterations=3, warmup=1,
+                      config=KernelConfig(checksum_mode=ChecksumMode.OFF))
+        saving = 1 - off.weighted_mean_us / std.weighted_mean_us
+        assert saving < 0.10
+
+    def test_bulk_mix_sensitive_to_checksum(self):
+        std = run_mix(BULKY_MIX, iterations=3, warmup=1)
+        off = run_mix(BULKY_MIX, iterations=3, warmup=1,
+                      config=KernelConfig(checksum_mode=ChecksumMode.OFF))
+        saving = 1 - off.weighted_mean_us / std.weighted_mean_us
+        assert saving > 0.25
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError):
+            run_mix(LRPC_MIX, network="fddi")

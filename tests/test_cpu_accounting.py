@@ -1,0 +1,40 @@
+"""Tests for the CPU per-label cycle accounting."""
+
+import pytest
+
+from repro.sim import CPU, Priority, Simulator
+
+
+def test_labels_accumulate():
+    sim = Simulator()
+    cpu = CPU(sim)
+    cpu.run(100, Priority.KERNEL, "alpha")
+    cpu.run(250, Priority.KERNEL, "beta")
+    cpu.run(50, Priority.KERNEL, "alpha")
+    sim.run()
+    assert cpu.busy_by_label == {"alpha": 150, "beta": 250}
+    assert cpu.busy_ns == 400
+
+
+def test_preempted_work_attributed_to_its_label():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def scenario():
+        cpu.run(1000, Priority.USER, "user-copy")
+        yield 300
+        cpu.run(200, Priority.HARD_INTR, "rx-intr")
+
+    sim.process(scenario())
+    sim.run()
+    assert cpu.busy_by_label["user-copy"] == 1000  # split across slices
+    assert cpu.busy_by_label["rx-intr"] == 200
+    assert cpu.preemptions == 1
+
+
+def test_zero_duration_jobs_not_recorded():
+    sim = Simulator()
+    cpu = CPU(sim)
+    cpu.run(0, Priority.KERNEL, "noop")
+    sim.run()
+    assert "noop" not in cpu.busy_by_label

@@ -1,0 +1,126 @@
+"""Tests for the LANCE Ethernet model."""
+
+import pytest
+
+from repro.core.experiment import SERVER_PORT, payload_pattern
+from repro.core.testbed import build_ethernet_pair
+from repro.ethernet.adapter import EthernetLink, LanceEthernet
+from repro.kern.host import Host
+from repro.net.headers import IPHeader, TCPHeader
+from repro.net.packet import build_tcp_packet
+from repro.sim import Priority, Simulator
+
+
+def make_pair():
+    sim = Simulator()
+    a = Host(sim, "a", "10.0.0.1")
+    b = Host(sim, "b", "10.0.0.2")
+    link = EthernetLink(sim)
+    link.attach(LanceEthernet(a))
+    link.attach(LanceEthernet(b))
+    return sim, a, b, link
+
+
+def make_packet(payload_len):
+    ip = IPHeader(src=1, dst=0x0A000002, total_length=0)
+    tcp = TCPHeader(src_port=1, dst_port=2, seq=0, ack=0)
+    return build_tcp_packet(ip, tcp, payload_pattern(payload_len))
+
+
+class TestWireTiming:
+    def test_byte_time_at_10mbps(self):
+        sim = Simulator()
+        link = EthernetLink(sim)
+        assert link.byte_time_ns == 800
+
+    def test_min_frame_padding(self):
+        sim = Simulator()
+        link = EthernetLink(sim)
+        # A tiny frame still costs 64 bytes + preamble/IFG on the wire.
+        assert link.frame_wire_time_ns(10) == (64 + 20) * 800
+
+    def test_full_frame_time(self):
+        sim = Simulator()
+        link = EthernetLink(sim)
+        assert link.frame_wire_time_ns(1500) == (1518 + 20) * 800
+
+    def test_medium_is_serialized(self):
+        sim = Simulator()
+        link = EthernetLink(sim)
+        t1 = link.reserve_medium(0, 1000)
+        t2 = link.reserve_medium(0, 1000)
+        assert t1 == 0
+        assert t2 == 1000
+
+
+class TestSingleTransmitBuffer:
+    def test_second_frame_waits_for_transmit_done(self):
+        """The LANCE's single transmit buffer forces copy/transmit
+        serialization across frames."""
+        sim, a, b, link = make_pair()
+        arrivals = []
+        orig = b.interface.deliver
+
+        def spy(frame, fault, db):
+            arrivals.append(sim.now)
+            orig(frame, fault, db)
+
+        b.interface.deliver = spy
+
+        def send():
+            yield from a.interface.output(make_packet(1400),
+                                          Priority.KERNEL, True)
+            yield from a.interface.output(make_packet(1400),
+                                          Priority.KERNEL, True)
+
+        sim.process(send())
+        sim.run()
+        wire_time = link.frame_wire_time_ns(1460)
+        # Frame 2 lags by at least wire time + its own driver copy.
+        assert arrivals[1] - arrivals[0] > wire_time
+
+
+class TestEthernetEndToEnd:
+    def test_mtu_prevents_oversized_datagrams(self):
+        tb = build_ethernet_pair()
+        assert tb.client.interface.mtu == 1500
+        assert tb.client.interface.suggested_mss == 1460
+
+    def test_echo_on_ethernet_with_segmentation(self):
+        tb = build_ethernet_pair()
+        size = 4000  # three segments at MSS 1460
+        payload = payload_pattern(size)
+        listener = tb.server.socket()
+        listener.listen(SERVER_PORT)
+
+        def server(listener):
+            child = yield from listener.accept()
+            data = yield from child.recv(size, exact=True)
+            yield from child.send(data)
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.send(payload)
+            echoed = yield from sock.recv(size, exact=True)
+            return sock, echoed
+
+        tb.server.spawn(server(listener))
+        done = tb.client.spawn(client())
+        sock, echoed = tb.sim.run_until_triggered(done)
+        assert echoed == payload
+        assert sock.conn.stats.data_segs_sent == 3
+        assert sock.conn.t_maxseg == 1460
+
+    def test_frame_stats(self):
+        sim, a, b, link = make_pair()
+
+        def send():
+            yield from a.interface.output(make_packet(100),
+                                          Priority.KERNEL, True)
+
+        sim.process(send())
+        sim.run()
+        assert a.interface.stats.frames_sent == 1
+        assert b.interface.stats.frames_received == 1
+        assert a.interface.stats.bytes_sent == 140

@@ -1,0 +1,205 @@
+"""Unit + property tests for the mbuf subsystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import decstation_5000_200
+from repro.mem import (
+    CLUSTER_THRESHOLD,
+    MBUF_DATA_SIZE,
+    MCLBYTES,
+    ClusterStorage,
+    Mbuf,
+    MbufChain,
+    MbufError,
+    MbufPool,
+)
+from repro.sim.engine import to_us
+
+
+@pytest.fixture()
+def pool():
+    return MbufPool(decstation_5000_200())
+
+
+class TestMbuf:
+    def test_constants_match_paper(self):
+        assert MBUF_DATA_SIZE == 108
+        assert MCLBYTES == 4096
+        assert CLUSTER_THRESHOLD == 1024
+
+    def test_normal_capacity_enforced(self):
+        Mbuf(data=bytes(108))
+        with pytest.raises(MbufError):
+            Mbuf(data=bytes(109))
+
+    def test_cluster_capacity_enforced(self):
+        Mbuf(cluster=ClusterStorage(bytes(4096)))
+        with pytest.raises(MbufError):
+            ClusterStorage(bytes(4097))
+
+    def test_use_after_free(self, pool):
+        mbuf, _ = pool.alloc(b"abc")
+        pool.free(mbuf)
+        with pytest.raises(MbufError):
+            _ = mbuf.data
+
+    def test_double_free(self, pool):
+        mbuf, _ = pool.alloc(b"abc")
+        pool.free(mbuf)
+        with pytest.raises(MbufError):
+            pool.free(mbuf)
+
+
+class TestAllocatorCosts:
+    def test_alloc_plus_free_is_about_7us(self, pool):
+        """§2.2.1: 'just over 7us' to allocate and free, either type."""
+        mbuf, alloc_cost = pool.alloc(b"x")
+        free_cost = pool.free(mbuf)
+        total_us = to_us(alloc_cost + free_cost)
+        assert 7.0 <= total_us <= 7.5
+        cl, alloc_cost = pool.alloc_cluster(bytes(4096))
+        free_cost = pool.free(cl)
+        assert 7.0 <= to_us(alloc_cost + free_cost) <= 7.5
+
+    def test_statistics(self, pool):
+        a, _ = pool.alloc(b"a")
+        b, _ = pool.alloc_cluster(b"b")
+        assert pool.allocated == 2
+        assert pool.cluster_allocated == 1
+        assert pool.in_use == 2
+        pool.free(a)
+        pool.free(b)
+        assert pool.in_use == 0
+        assert pool.high_water == 2
+
+
+class TestChainBuilding:
+    def test_chunk_sizes_small(self, pool):
+        assert pool.chunk_sizes(4, use_clusters=False) == [4]
+        assert pool.chunk_sizes(108, use_clusters=False) == [108]
+        assert pool.chunk_sizes(200, use_clusters=False) == [108, 92]
+        assert pool.chunk_sizes(500, use_clusters=False) == [108] * 4 + [68]
+
+    def test_chunk_sizes_cluster(self, pool):
+        assert pool.chunk_sizes(1400, use_clusters=True) == [1400]
+        assert pool.chunk_sizes(8000, use_clusters=True) == [4096, 3904]
+
+    def test_zero_length_chain(self, pool):
+        chain, _ = pool.build_chain(b"", use_clusters=False)
+        assert chain.length == 0
+        assert chain.mbuf_count == 1  # an empty mbuf, like MGET with len 0
+
+    @given(st.integers(min_value=0, max_value=9000),
+           st.booleans())
+    def test_build_chain_roundtrips_data(self, size, clusters):
+        pool = MbufPool(decstation_5000_200())
+        data = bytes(i & 0xFF for i in range(size))
+        chain, _ = pool.build_chain(data, use_clusters=clusters)
+        assert chain.to_bytes() == data
+        assert chain.length == size
+
+    def test_mbuf_counts_match_paper_examples(self, pool):
+        """§2.2.1: 'One to eight mbufs are used for transfers < 1 KB'."""
+        for size in (4, 20, 80, 200, 500):
+            chain, _ = pool.build_chain(bytes(size), use_clusters=False)
+            assert 1 <= chain.mbuf_count <= 8
+        chain, _ = pool.build_chain(bytes(1000), use_clusters=False)
+        assert chain.mbuf_count <= 10
+
+
+class TestChainOps:
+    def test_slice_bytes(self, pool):
+        data = bytes(range(250))
+        chain, _ = pool.build_chain(data, use_clusters=False)
+        assert chain.slice_bytes(0, 250) == data
+        assert chain.slice_bytes(100, 50) == data[100:150]
+        with pytest.raises(MbufError):
+            chain.slice_bytes(200, 100)
+
+    def test_mbufs_spanning(self, pool):
+        chain, _ = pool.build_chain(bytes(300), use_clusters=False)
+        spans = chain.mbufs_spanning(100, 120)
+        assert sum(take for _, _, take in spans) == 120
+        # Starts inside the first 108-byte mbuf.
+        first_mbuf, start, take = spans[0]
+        assert start == 100 and take == 8
+
+    @given(st.integers(min_value=1, max_value=2000),
+           st.data())
+    def test_spanning_covers_exact_bytes(self, size, data):
+        pool = MbufPool(decstation_5000_200())
+        payload = bytes(i & 0xFF for i in range(size))
+        chain, _ = pool.build_chain(payload, use_clusters=size > 1024)
+        offset = data.draw(st.integers(min_value=0, max_value=size))
+        length = data.draw(st.integers(min_value=0, max_value=size - offset))
+        pieces = b"".join(
+            m.data[s:s + t] for m, s, t in chain.mbufs_spanning(offset, length)
+        )
+        assert pieces == payload[offset:offset + length]
+
+
+class TestMCopy:
+    def test_small_mbuf_copy_duplicates_data(self, pool):
+        chain, _ = pool.build_chain(bytes(500), use_clusters=False)
+        copy, cost = pool.m_copy(chain, 0, 500)
+        assert copy.to_bytes() == chain.to_bytes()
+        assert copy.cluster_count == 0
+        assert cost > 0
+
+    def test_cluster_copy_shares_storage(self, pool):
+        chain, _ = pool.build_chain(bytes(4096), use_clusters=True)
+        copy, _ = pool.m_copy(chain, 0, 4096)
+        assert copy.mbufs[0].cluster is chain.mbufs[0].cluster
+        assert chain.mbufs[0].cluster.refs == 2
+        pool.free_chain(copy)
+        assert chain.mbufs[0].cluster.refs == 1
+
+    def test_cluster_copy_cheaper_than_small_copy(self, pool):
+        """§2.2.1: refcounted cluster copy beats data-copying small mbufs.
+        This is why Table 2's mcopy row *drops* from 500 to 1400 bytes."""
+        small_chain, _ = pool.build_chain(bytes(500), use_clusters=False)
+        _, small_cost = pool.m_copy(small_chain, 0, 500)
+        cluster_chain, _ = pool.build_chain(bytes(1400), use_clusters=True)
+        _, cluster_cost = pool.m_copy(cluster_chain, 0, 1400)
+        assert cluster_cost < small_cost
+
+    def test_partial_range_copy(self, pool):
+        data = bytes(range(200))
+        chain, _ = pool.build_chain(data, use_clusters=False)
+        copy, _ = pool.m_copy(chain, 50, 100)
+        assert copy.to_bytes() == data[50:150]
+
+    def test_partial_sum_preserved_for_whole_mbufs(self, pool):
+        chain, _ = pool.build_chain(bytes(100), use_clusters=False)
+        chain.mbufs[0].partial_sum = (1234, 100)
+        copy, _ = pool.m_copy(chain, 0, 100)
+        assert copy.mbufs[0].partial_sum == (1234, 100)
+
+
+class TestDropFront:
+    def test_drop_whole_mbufs(self, pool):
+        chain, _ = pool.build_chain(bytes(range(216)), use_clusters=False)
+        pool.drop_front(chain, 108)
+        assert chain.length == 108
+        assert chain.to_bytes() == bytes(range(216))[108:]
+
+    def test_drop_partial_mbuf(self, pool):
+        data = bytes(range(200))
+        chain, _ = pool.build_chain(data, use_clusters=False)
+        pool.drop_front(chain, 50)
+        assert chain.to_bytes() == data[50:]
+
+    def test_drop_too_much_rejected(self, pool):
+        chain, _ = pool.build_chain(bytes(10), use_clusters=False)
+        with pytest.raises(MbufError):
+            pool.drop_front(chain, 11)
+
+    @given(st.integers(min_value=0, max_value=1500), st.data())
+    def test_drop_preserves_suffix(self, size, data):
+        pool = MbufPool(decstation_5000_200())
+        payload = bytes(i & 0xFF for i in range(size))
+        chain, _ = pool.build_chain(payload, use_clusters=size > 1024)
+        n = data.draw(st.integers(min_value=0, max_value=size))
+        pool.drop_front(chain, n)
+        assert chain.to_bytes() == payload[n:]

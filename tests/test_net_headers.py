@@ -1,0 +1,156 @@
+"""Tests for addresses, headers, and packet assembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import (
+    IP_HEADER_LEN,
+    HeaderError,
+    HostAddress,
+    IPHeader,
+    Packet,
+    TCPFlags,
+    TCPHeader,
+    build_tcp_packet,
+    ip_aton,
+    ip_ntoa,
+    parse_tcp_packet,
+    verify_tcp_checksum,
+)
+
+
+class TestAddresses:
+    def test_aton_ntoa_roundtrip(self):
+        assert ip_aton("10.0.0.1") == 0x0A000001
+        assert ip_ntoa(0x0A000001) == "10.0.0.1"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, value):
+        assert ip_aton(ip_ntoa(value)) == value
+
+    def test_bad_addresses_rejected(self):
+        for bad in ("10.0.0", "1.2.3.4.5", "256.0.0.1", "-1.0.0.0"):
+            with pytest.raises(ValueError):
+                ip_aton(bad)
+        with pytest.raises(ValueError):
+            ip_ntoa(-1)
+
+    def test_host_address_identity(self):
+        a = HostAddress("10.0.0.1", "client")
+        b = HostAddress("10.0.0.1", "other-name")
+        c = HostAddress("10.0.0.2")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a.dotted == "10.0.0.1"
+        assert c.name == "10.0.0.2"
+
+
+class TestIPHeader:
+    def test_pack_unpack_roundtrip(self):
+        hdr = IPHeader(src=ip_aton("10.0.0.1"), dst=ip_aton("10.0.0.2"),
+                       total_length=40, identification=7)
+        data = hdr.pack()
+        back = IPHeader.unpack(data)
+        assert back.src == hdr.src
+        assert back.dst == hdr.dst
+        assert back.total_length == 40
+        assert back.identification == 7
+        assert back.header_valid(data)
+
+    def test_checksum_detects_corruption(self):
+        hdr = IPHeader(src=1, dst=2, total_length=40)
+        data = bytearray(hdr.pack())
+        data[8] ^= 0xFF  # TTL
+        assert not IPHeader.unpack(bytes(data)).header_valid(bytes(data))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(HeaderError):
+            IPHeader.unpack(b"\x45\x00")
+
+    def test_bad_version_rejected(self):
+        hdr = IPHeader(src=1, dst=2, total_length=40)
+        data = bytearray(hdr.pack())
+        data[0] = 0x65
+        with pytest.raises(HeaderError):
+            IPHeader.unpack(bytes(data))
+
+
+class TestTCPHeader:
+    def test_pack_unpack_roundtrip(self):
+        hdr = TCPHeader(src_port=1234, dst_port=80, seq=1000, ack=2000,
+                        flags=TCPFlags.ACK | TCPFlags.PSH, window=4096)
+        back = TCPHeader.unpack(hdr.pack(checksum=0xBEEF))
+        assert back.src_port == 1234
+        assert back.dst_port == 80
+        assert back.seq == 1000
+        assert back.ack == 2000
+        assert back.flags == TCPFlags.ACK | TCPFlags.PSH
+        assert back.window == 4096
+        assert back.checksum == 0xBEEF
+
+    def test_options_roundtrip(self):
+        hdr = TCPHeader(src_port=1, dst_port=2, seq=0, ack=0,
+                        options=b"\x02\x04\x10\x00")  # MSS option
+        back = TCPHeader.unpack(hdr.pack() + b"payload")
+        assert back.options == b"\x02\x04\x10\x00"
+        assert back.header_length == 24
+
+    def test_unpadded_options_rejected(self):
+        with pytest.raises(HeaderError):
+            TCPHeader(src_port=1, dst_port=2, seq=0, ack=0, options=b"\x01")
+
+    def test_oversized_options_rejected(self):
+        with pytest.raises(HeaderError):
+            TCPHeader(src_port=1, dst_port=2, seq=0, ack=0,
+                      options=b"\x01" * 44)
+
+    def test_flags_describe(self):
+        assert TCPFlags.describe(TCPFlags.SYN | TCPFlags.ACK) == "SYN|ACK"
+        assert TCPFlags.describe(0) == "none"
+
+    def test_seq_wraps_modulo_2_32(self):
+        hdr = TCPHeader(src_port=1, dst_port=2, seq=2**32 + 5, ack=0)
+        assert TCPHeader.unpack(hdr.pack()).seq == 5
+
+
+class TestPacketAssembly:
+    def make_packet(self, payload=b"hello world!"):
+        ip = IPHeader(src=ip_aton("10.0.0.1"), dst=ip_aton("10.0.0.2"),
+                      total_length=0)
+        tcp = TCPHeader(src_port=1111, dst_port=2222, seq=1, ack=2,
+                        flags=TCPFlags.ACK)
+        return build_tcp_packet(ip, tcp, payload)
+
+    def test_lengths_consistent(self):
+        pkt = self.make_packet()
+        assert len(pkt) == IP_HEADER_LEN + 20 + 12
+        assert pkt.ip_header.total_length == len(pkt)
+
+    def test_checksum_verifies(self):
+        assert verify_tcp_checksum(self.make_packet())
+
+    @given(st.binary(max_size=2048))
+    def test_checksum_verifies_any_payload(self, payload):
+        pkt = self.make_packet(payload)
+        assert verify_tcp_checksum(pkt)
+        assert pkt.payload == payload
+
+    def test_corrupted_payload_fails_verification(self):
+        pkt = self.make_packet(b"x" * 100)
+        data = bytearray(pkt.data)
+        data[60] ^= 0x01
+        assert not verify_tcp_checksum(Packet(bytes(data)))
+
+    def test_explicit_zero_checksum_for_offloaded_connections(self):
+        ip = IPHeader(src=1, dst=2, total_length=0)
+        tcp = TCPHeader(src_port=1, dst_port=2, seq=0, ack=0)
+        pkt = build_tcp_packet(ip, tcp, b"data", tcp_checksum=0)
+        assert pkt.tcp_header.checksum == 0
+        assert not verify_tcp_checksum(pkt)
+
+    def test_parse_helper(self):
+        pkt = self.make_packet(b"abc")
+        ip, tcp, payload = parse_tcp_packet(pkt)
+        assert ip.src == ip_aton("10.0.0.1")
+        assert tcp.dst_port == 2222
+        assert payload == b"abc"

@@ -1,0 +1,170 @@
+"""Unit tests for the preemptive priority CPU model."""
+
+import pytest
+
+from repro.sim import CPU, Priority, Simulator
+
+
+def make_cpu():
+    sim = Simulator()
+    return sim, CPU(sim, "cpu0")
+
+
+def test_single_job_takes_its_duration():
+    sim, cpu = make_cpu()
+    done = cpu.run(1000, Priority.KERNEL, "work")
+    sim.run_until_triggered(done)
+    assert sim.now == 1000
+    assert cpu.busy_ns == 1000
+    assert cpu.jobs_completed == 1
+    assert cpu.idle
+
+
+def test_zero_duration_job_completes_immediately():
+    sim, cpu = make_cpu()
+    done = cpu.run(0, Priority.KERNEL)
+    sim.run_until_triggered(done)
+    assert sim.now == 0
+
+
+def test_negative_duration_rejected():
+    _, cpu = make_cpu()
+    with pytest.raises(ValueError):
+        cpu.run(-5)
+
+
+def test_equal_priority_fifo_no_preemption():
+    sim, cpu = make_cpu()
+    finish = {}
+
+    def submit(tag, duration):
+        cpu.run(duration, Priority.KERNEL, tag).add_callback(
+            lambda _e: finish.setdefault(tag, sim.now)
+        )
+
+    submit("first", 100)
+    submit("second", 50)
+    sim.run()
+    assert finish == {"first": 100, "second": 150}
+    assert cpu.preemptions == 0
+
+
+def test_higher_priority_preempts_and_work_is_conserved():
+    sim, cpu = make_cpu()
+    finish = {}
+
+    def user():
+        yield cpu.run(1000, Priority.USER, "user-copy")
+        finish["user"] = sim.now
+
+    def interrupt():
+        yield 300  # arrive while the user copy is in progress
+        yield cpu.run(200, Priority.HARD_INTR, "rx-intr")
+        finish["intr"] = sim.now
+
+    sim.process(user())
+    sim.process(interrupt())
+    sim.run()
+    # Interrupt runs 300..500; user work resumes and finishes at 1200.
+    assert finish == {"intr": 500, "user": 1200}
+    assert cpu.preemptions == 1
+    assert cpu.busy_ns == 1200
+
+
+def test_priority_ladder_hard_over_soft_over_user():
+    sim, cpu = make_cpu()
+    order = []
+
+    def at(delay, duration, prio, tag):
+        def proc():
+            yield delay
+            yield cpu.run(duration, prio, tag)
+            order.append(tag)
+
+        sim.process(proc())
+
+    # All become ready at t=0 except user, which starts running first.
+    at(0, 900, Priority.USER, "user")
+    at(10, 100, Priority.SOFT_INTR, "soft")
+    at(20, 100, Priority.HARD_INTR, "hard")
+    sim.run()
+    assert order == ["hard", "soft", "user"]
+
+
+def test_nested_preemption_resumes_in_priority_order():
+    sim, cpu = make_cpu()
+    timeline = []
+
+    def track(tag, done_ev):
+        done_ev.add_callback(lambda _e: timeline.append((tag, sim.now)))
+
+    def scenario():
+        track("user", cpu.run(1000, Priority.USER, "user"))
+        yield 100
+        track("soft", cpu.run(400, Priority.SOFT_INTR, "soft"))
+        yield 100  # soft has run 100ns
+        track("hard", cpu.run(50, Priority.HARD_INTR, "hard"))
+
+    sim.process(scenario())
+    sim.run()
+    # hard: 200..250, soft: 100..200 then 250..550, user: 0..100 then 550..1450
+    assert timeline == [("hard", 250), ("soft", 550), ("user", 1450)]
+    assert cpu.preemptions == 2
+    assert cpu.busy_ns == 1450
+
+
+def test_equal_priority_arrival_does_not_preempt():
+    sim, cpu = make_cpu()
+    finish = {}
+
+    def scenario():
+        done_a = cpu.run(500, Priority.SOFT_INTR, "a")
+        done_a.add_callback(lambda _e: finish.setdefault("a", sim.now))
+        yield 100
+        done_b = cpu.run(100, Priority.SOFT_INTR, "b")
+        done_b.add_callback(lambda _e: finish.setdefault("b", sim.now))
+
+    sim.process(scenario())
+    sim.run()
+    assert finish == {"a": 500, "b": 600}
+
+
+def test_queue_depth_reporting():
+    sim, cpu = make_cpu()
+    cpu.run(100, Priority.USER)
+    cpu.run(100, Priority.USER)
+    cpu.run(100, Priority.SOFT_INTR)
+    # One of these is running (dispatched synchronously), two are ready.
+    assert cpu.queue_depth() == 2
+    assert cpu.queue_depth(Priority.SOFT_INTR) in (0, 1)
+    sim.run()
+    assert cpu.queue_depth() == 0
+    assert cpu.idle
+
+
+def test_busy_accounting_with_gaps():
+    sim, cpu = make_cpu()
+
+    def proc():
+        yield cpu.run(100, Priority.KERNEL)
+        yield 400  # CPU idle
+        yield cpu.run(100, Priority.KERNEL)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 600
+    assert cpu.busy_ns == 200
+
+
+def test_sequential_yields_model_a_kernel_path():
+    """A syscall path submits work piecewise; total time is the sum."""
+    sim, cpu = make_cpu()
+
+    def syscall():
+        yield cpu.run(10_000, Priority.KERNEL, "entry")
+        yield cpu.run(20_000, Priority.KERNEL, "copyin")
+        yield cpu.run(5_000, Priority.KERNEL, "exit")
+
+    p = sim.process(syscall())
+    sim.run_until_triggered(p)
+    assert sim.now == 35_000

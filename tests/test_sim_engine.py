@@ -1,0 +1,296 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    Deadlock,
+    Event,
+    EventError,
+    ProcessError,
+    SchedulingError,
+    Simulator,
+    to_us,
+    us,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.now_us == 0.0
+
+
+def test_unit_conversions():
+    assert us(1.5) == 1500
+    assert us(0) == 0
+    assert to_us(2500) == 2.5
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(30, seen.append, "c")
+    sim.schedule(10, seen.append, "a")
+    sim.schedule(20, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    seen = []
+    for tag in range(5):
+        sim.schedule(100, seen.append, tag)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancelled_call_does_not_run():
+    sim = Simulator()
+    seen = []
+    call = sim.schedule(10, seen.append, "x")
+    sim.schedule(5, seen.append, "y")
+    call.cancel()
+    sim.run()
+    assert seen == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    call = sim.schedule(10, lambda: None)
+    call.cancel()
+    call.cancel()
+    sim.run()
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, seen.append, 1)
+    sim.schedule(100, seen.append, 2)
+    sim.run(until=50)
+    assert seen == [1]
+    assert sim.now == 50
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run(until=100)
+    with pytest.raises(SchedulingError):
+        sim.run(until=50)
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_callback_after_trigger_still_runs(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("late")
+        sim.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["late"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(EventError):
+            ev.succeed()
+        with pytest.raises(EventError):
+            ev.fail(RuntimeError("boom"))
+
+    def test_value_before_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(EventError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(EventError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_timeout_value(self):
+        sim = Simulator()
+        ev = sim.timeout(250, value="done")
+        sim.run()
+        assert ev.triggered and ev.value == "done"
+        assert sim.now == 250
+
+
+class TestProcess:
+    def test_yield_int_is_timeout(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            marks.append(sim.now)
+            yield 100
+            marks.append(sim.now)
+            yield 50
+            marks.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert marks == [0, 100, 150]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 10
+            return "result"
+
+        p = sim.process(proc())
+        assert sim.run_until_triggered(p) == "result"
+
+    def test_process_waits_on_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.schedule(500, ev.succeed, "ping")
+        sim.run()
+        assert got == [(500, "ping")]
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 100
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value * 2
+
+        p = sim.process(parent())
+        assert sim.run_until_triggered(p) == 14
+
+    def test_failed_event_raises_in_process(self):
+        sim = Simulator()
+        ev = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.schedule(10, ev.fail, RuntimeError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_exception_in_process_fails_its_event(self):
+        sim = Simulator()
+
+        def bad():
+            yield 10
+            raise ValueError("broken")
+
+        p = sim.process(bad())
+        sim.run()
+        assert p.triggered and not p.ok
+        with pytest.raises(ValueError):
+            _ = p.value
+
+    def test_yield_garbage_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not waitable"
+
+        p = sim.process(bad())
+        sim.run()
+        assert not p.ok
+        with pytest.raises(ProcessError):
+            _ = p.value
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_run_until_triggered_deadlock(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def waiter():
+            yield ev
+
+        p = sim.process(waiter())
+        with pytest.raises(Deadlock):
+            sim.run_until_triggered(p)
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self):
+        sim = Simulator()
+        done = sim.all_of([sim.timeout(30, "c"), sim.timeout(10, "a")])
+        sim.run()
+        assert done.value == ["c", "a"]
+        assert sim.now == 30
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        done = sim.all_of([])
+        sim.run()
+        assert done.value == []
+
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+        done = sim.any_of([sim.timeout(30, "slow"), sim.timeout(10, "fast")])
+        assert sim.run_until_triggered(done) == (1, "fast")
+
+    def test_any_of_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(EventError):
+            sim.any_of([])
+
+
+def test_determinism_event_counts_match():
+    def build():
+        sim = Simulator()
+        order = []
+
+        def proc(tag, delay):
+            for i in range(5):
+                yield delay
+                order.append((tag, i, sim.now))
+
+        for tag, delay in (("a", 7), ("b", 11), ("c", 7)):
+            sim.process(proc(tag, delay))
+        sim.run()
+        return order, sim.events_executed
+
+    first = build()
+    second = build()
+    assert first == second

@@ -1,0 +1,160 @@
+"""Unit tests for Store / Semaphore / Signal primitives."""
+
+import pytest
+
+from repro.sim import Semaphore, Signal, Simulator, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        ev = store.get()
+        sim.run()
+        assert ev.value == "a"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.schedule(100, store.put, "x")
+        sim.run()
+        assert got == [(100, "x")]
+
+    def test_fifo_ordering_items_and_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        sim.process(consumer(1))
+        sim.process(consumer(2))
+        sim.schedule(10, store.put, "a")
+        sim.schedule(20, store.put, "b")
+        sim.run()
+        assert got == [(1, "a"), (2, "b")]
+
+    def test_get_nowait_and_peek(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.get_nowait() is None
+        assert store.peek() is None
+        store.put(1)
+        store.put(2)
+        assert store.peek() == 1
+        assert len(store) == 2
+        assert store.get_nowait() == 1
+        assert store.get_nowait() == 2
+        assert store.get_nowait() is None
+
+    def test_counters(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.get()
+        sim.run()
+        assert store.puts == 1
+        assert store.gets == 1
+
+
+class TestSemaphore:
+    def test_initial_value_acquires(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=2)
+        a = sem.acquire()
+        b = sem.acquire()
+        c = sem.acquire()
+        sim.run()
+        assert a.triggered and b.triggered and not c.triggered
+        sem.release()
+        sim.run()
+        assert c.triggered
+        assert sem.value == 0
+
+    def test_release_without_waiters_increments(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=0)
+        sem.release()
+        assert sem.value == 1
+
+    def test_negative_value_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Semaphore(sim, value=-1)
+
+    def test_mutual_exclusion_of_processes(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=1)
+        active = [0]
+        max_active = [0]
+
+        def worker():
+            yield sem.acquire()
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            yield 100
+            active[0] -= 1
+            sem.release()
+
+        for _ in range(5):
+            sim.process(worker())
+        sim.run()
+        assert max_active[0] == 1
+        assert sim.now == 500
+
+
+class TestSignal:
+    def test_fire_wakes_all_current_waiters(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        woken = []
+
+        def waiter(tag):
+            value = yield sig.wait()
+            woken.append((tag, value, sim.now))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.schedule(50, sig.fire, "go")
+        sim.run()
+        assert sorted(woken) == [("a", "go", 50), ("b", "go", 50)]
+
+    def test_fire_with_no_waiters_returns_zero(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        assert sig.fire() == 0
+
+    def test_signal_is_reusable(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        hits = []
+
+        def repeat_waiter():
+            for _ in range(3):
+                yield sig.wait()
+                hits.append(sim.now)
+
+        sim.process(repeat_waiter())
+        for t in (10, 20, 30):
+            sim.schedule(t, sig.fire)
+        sim.run()
+        assert hits == [10, 20, 30]
+
+    def test_waiter_count(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sig.wait()
+        sig.wait()
+        assert sig.waiter_count == 2
+        sig.fire()
+        assert sig.waiter_count == 0

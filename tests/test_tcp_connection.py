@@ -1,0 +1,266 @@
+"""Integration tests for the TCP connection engine over the ATM testbed."""
+
+import pytest
+
+from repro.core.experiment import SERVER_PORT, payload_pattern
+from repro.core.testbed import build_atm_pair
+from repro.kern.config import ChecksumMode, KernelConfig
+from repro.tcp.states import TCPState
+
+
+def make_testbed(config=None):
+    return build_atm_pair(config=config)
+
+
+def run_client_server(tb, client_gen_fn, server_gen_fn):
+    """Start a listening server and a client; run until the client ends."""
+    listener = tb.server.socket()
+    listener.listen(SERVER_PORT)
+    tb.server.spawn(server_gen_fn(listener), name="server")
+    done = tb.client.spawn(client_gen_fn(), name="client")
+    tb.sim.run_until_triggered(done)
+    return done.value
+
+
+class TestEstablishment:
+    def test_three_way_handshake(self):
+        tb = make_testbed()
+
+        def server(listener):
+            child = yield from listener.accept()
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            return sock
+
+        listener = tb.server.socket()
+        listener.listen(SERVER_PORT)
+        server_done = tb.server.spawn(server(listener), name="server")
+        client_done = tb.client.spawn(client(), name="client")
+        tb.sim.run_until_triggered(client_done)
+        tb.sim.run_until_triggered(server_done)
+        csock = client_done.value
+        ssock = server_done.value
+        assert csock.conn.state is TCPState.ESTABLISHED
+        assert ssock.conn.state is TCPState.ESTABLISHED
+        # Both ends agreed on the page-sized ATM MSS.
+        assert csock.conn.t_maxseg == 4096
+        assert ssock.conn.t_maxseg == 4096
+
+    def test_mss_negotiation_takes_minimum(self):
+        config_small = KernelConfig(mss_atm=2048)
+        tb = build_atm_pair()
+        # Rebuild the server host with a smaller MSS config.
+        tb.server.config = config_small
+
+        def server(listener):
+            child = yield from listener.accept()
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            return sock
+
+        sock = run_client_server(tb, client, server)
+        assert sock.conn.t_maxseg == 2048
+
+
+class TestDataTransfer:
+    def echo_once(self, tb, size):
+        payload = payload_pattern(size)
+
+        def server(listener):
+            child = yield from listener.accept()
+            data = yield from child.recv(size, exact=True)
+            yield from child.send(data)
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.send(payload)
+            echoed = yield from sock.recv(size, exact=True)
+            return sock, echoed
+
+        sock, echoed = run_client_server(tb, client, server)
+        assert echoed == payload
+        return sock
+
+    @pytest.mark.parametrize("size", [1, 4, 108, 109, 500, 1024, 1025,
+                                      4096, 4097, 8000])
+    def test_echo_roundtrip_sizes(self, size):
+        self.echo_once(make_testbed(), size)
+
+    def test_segmentation_at_mss(self):
+        tb = make_testbed()
+        sock = self.echo_once(tb, 8000)
+        # 8000 bytes with a 4096 MSS: exactly two data segments out.
+        assert sock.conn.stats.data_segs_sent == 2
+        assert sock.conn.stats.bytes_sent == 8000
+
+    def test_single_segment_below_mss(self):
+        tb = make_testbed()
+        sock = self.echo_once(tb, 4000)
+        assert sock.conn.stats.data_segs_sent == 1
+
+    def test_large_transfer_with_window_cycles(self):
+        """A transfer larger than the send buffer forces sosend to block
+        for acknowledgements and continue."""
+        tb = make_testbed()
+        size = 100_000
+        payload = payload_pattern(size)
+
+        def server(listener):
+            child = yield from listener.accept()
+            data = yield from child.recv(size, exact=True)
+            assert data == payload
+            yield from child.send(b"ok")
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.send(payload)
+            reply = yield from sock.recv(2, exact=True)
+            return reply
+
+        assert run_client_server(tb, client, server) == b"ok"
+
+    def test_bidirectional_simultaneous(self):
+        tb = make_testbed()
+        a_payload = payload_pattern(3000, seed=1)
+        b_payload = payload_pattern(3000, seed=2)
+
+        def server(listener):
+            child = yield from listener.accept()
+            yield from child.send(b_payload)
+            got = yield from child.recv(3000, exact=True)
+            assert got == a_payload
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.send(a_payload)
+            got = yield from sock.recv(3000, exact=True)
+            return got
+
+        assert run_client_server(tb, client, server) == b_payload
+
+
+class TestDelayedAck:
+    def test_two_segments_force_immediate_ack(self):
+        """BSD acks every other segment: a two-segment transfer makes the
+        receiver emit one standalone ACK.  (A small warmup exchange
+        first opens the congestion window so both segments go out
+        back-to-back, as in the paper's steady state.)"""
+        tb = make_testbed()
+
+        def server(listener):
+            child = yield from listener.accept()
+            warm = yield from child.recv(100, exact=True)
+            yield from child.send(warm)
+            yield from child.recv(8000, exact=True)
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.send(payload_pattern(100))
+            yield from sock.recv(100, exact=True)
+            yield from sock.send(payload_pattern(8000))
+            # Give the standalone ACK time to come back.
+            yield tb.sim.timeout(5_000_000)
+            return sock
+
+        sock = run_client_server(tb, client, server)
+        # The client's data was fully acked without waiting for the
+        # 200 ms delayed-ack timer.
+        assert sock.conn.snd_una == sock.conn.snd_max
+        assert tb.sim.now < 100_000_000  # well under any delack/RTO
+
+    def test_single_segment_uses_delack_timer(self):
+        """With one segment and a silent application, the ACK waits for
+        the delayed-ack timer (~200 ms)."""
+        tb = make_testbed()
+
+        def server(listener):
+            child = yield from listener.accept()
+            yield from child.recv(500, exact=True)
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            t0 = tb.sim.now
+            yield from sock.send(payload_pattern(500))
+            # Wait until the data is acked.
+            while sock.conn.snd_una != sock.conn.snd_max:
+                yield tb.sim.timeout(1_000_000)
+            return tb.sim.now - t0
+
+        elapsed_ns = run_client_server(tb, client, server)
+        config = KernelConfig()
+        assert elapsed_ns >= config.delack_timeout_us * 1000 * 0.9
+
+    def test_reply_piggybacks_ack(self):
+        """In the RPC pattern the reply carries the ACK: no pure ACKs."""
+        tb = make_testbed()
+
+        def server(listener):
+            child = yield from listener.accept()
+            for _ in range(4):
+                data = yield from child.recv(200, exact=True)
+                yield from child.send(data)
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            for _ in range(4):
+                yield from sock.send(payload_pattern(200))
+                yield from sock.recv(200, exact=True)
+            return sock
+
+        sock = run_client_server(tb, client, server)
+        # After the handshake (whose final ACK is the one pure ACK), all
+        # traffic is data with piggybacked acks.
+        assert sock.conn.stats.pure_acks_sent == 1
+        assert sock.conn.stats.data_segs_sent == 4
+
+
+class TestClose:
+    def test_fin_handshake(self):
+        tb = make_testbed()
+
+        def server(listener):
+            child = yield from listener.accept()
+            data = yield from child.recv(100, exact=True)
+            yield from child.send(data)
+            # Read EOF then close.
+            rest = yield from child.recv(1, exact=True)
+            assert rest == b""
+            yield from child.close()
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.send(payload_pattern(100))
+            yield from sock.recv(100, exact=True)
+            yield from sock.close()
+            # Allow the teardown to complete.
+            yield tb.sim.timeout(3_000_000_000)
+            return sock
+
+        listener = tb.server.socket()
+        listener.listen(SERVER_PORT)
+        server_done = tb.server.spawn(server(listener), name="server")
+        client_done = tb.client.spawn(client(), name="client")
+        tb.sim.run_until_triggered(client_done)
+        tb.sim.run_until_triggered(server_done)
+        csock = client_done.value
+        ssock = server_done.value
+        assert csock.conn.state in (TCPState.TIME_WAIT, TCPState.CLOSED)
+        assert ssock.conn.state is TCPState.CLOSED

@@ -1,0 +1,72 @@
+"""Tests for TCP option encoding (MSS + Alternate Checksum)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp.options import ALT_CKSUM_NONE, TCPOptions
+
+
+class TestEncodeDecode:
+    def test_mss_roundtrip(self):
+        opts = TCPOptions(mss=4096)
+        encoded = opts.encode()
+        assert len(encoded) % 4 == 0
+        decoded = TCPOptions.decode(encoded)
+        assert decoded.mss == 4096
+        assert decoded.alt_checksum is None
+
+    def test_alt_checksum_roundtrip(self):
+        opts = TCPOptions(alt_checksum=ALT_CKSUM_NONE)
+        decoded = TCPOptions.decode(opts.encode())
+        assert decoded.wants_no_checksum
+
+    def test_both_options(self):
+        opts = TCPOptions(mss=1460, alt_checksum=ALT_CKSUM_NONE)
+        decoded = TCPOptions.decode(opts.encode())
+        assert decoded.mss == 1460
+        assert decoded.alt_checksum == ALT_CKSUM_NONE
+
+    def test_empty(self):
+        assert TCPOptions().encode() == b""
+        decoded = TCPOptions.decode(b"")
+        assert decoded.mss is None and decoded.alt_checksum is None
+
+    @given(st.integers(min_value=1, max_value=0xFFFF),
+           st.one_of(st.none(), st.integers(min_value=0, max_value=255)))
+    def test_roundtrip_property(self, mss, alt):
+        decoded = TCPOptions.decode(TCPOptions(mss=mss,
+                                               alt_checksum=alt).encode())
+        assert decoded.mss == mss
+        assert decoded.alt_checksum == alt
+
+    def test_mss_range_checked(self):
+        with pytest.raises(ValueError):
+            TCPOptions(mss=0).encode()
+        with pytest.raises(ValueError):
+            TCPOptions(mss=70000).encode()
+
+
+class TestRobustDecoding:
+    def test_unknown_options_skipped(self):
+        # kind=8 (timestamp), len=10, 8 bytes of body, then MSS.
+        raw = bytes([8, 10] + [0] * 8 + [2, 4, 0x10, 0x00])
+        decoded = TCPOptions.decode(raw)
+        assert decoded.mss == 4096
+
+    def test_nop_and_eol(self):
+        raw = bytes([1, 1, 2, 4, 0x05, 0xB4, 0, 0])
+        decoded = TCPOptions.decode(raw)
+        assert decoded.mss == 1460
+
+    def test_truncated_option_stops_parse(self):
+        assert TCPOptions.decode(bytes([2])).mss is None
+        assert TCPOptions.decode(bytes([2, 4, 0x10])).mss is None
+
+    def test_zero_length_option_stops_parse(self):
+        # A malformed length of 0 must not loop forever.
+        decoded = TCPOptions.decode(bytes([5, 0, 2, 4, 0x10, 0x00]))
+        assert decoded.mss is None
+
+    @given(st.binary(max_size=40))
+    def test_decode_never_raises(self, junk):
+        TCPOptions.decode(junk)  # must be robust to arbitrary bytes

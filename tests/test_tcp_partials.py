@@ -1,0 +1,149 @@
+"""Tests for partial-checksum coverage (§4.1.1 and its extensions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.checksum.internet import combine, fold, raw_sum
+from repro.core.experiment import SERVER_PORT, payload_pattern
+from repro.core.testbed import build_atm_pair, build_ethernet_pair
+from repro.hw import decstation_5000_200
+from repro.kern.config import ChecksumMode, KernelConfig
+from repro.mem.mbuf import MbufPool
+from repro.tcp.partials import (
+    Coverage,
+    chunk_partial_sums,
+    coverage_for_span,
+)
+
+
+@pytest.fixture()
+def pool():
+    return MbufPool(decstation_5000_200())
+
+
+class TestChunkPartialSums:
+    @given(st.binary(min_size=0, max_size=600),
+           st.integers(min_value=1, max_value=8))
+    def test_chunks_combine_to_whole_checksum(self, data, chunks):
+        sums = chunk_partial_sums(data, chunks)
+        assert sum(length for _, length in sums) == len(data)
+        assert fold(combine(sums)) == fold(raw_sum(data))
+
+    def test_interior_boundaries_even(self):
+        sums = chunk_partial_sums(bytes(101), 4)
+        for _, length in sums[:-1]:
+            assert length % 2 == 0
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_partial_sums(b"xx", 0)
+
+
+class TestCoverage:
+    def build(self, pool, size, sums_per_mbuf=1, use_clusters=None):
+        data = payload_pattern(size)
+        if use_clusters is None:
+            use_clusters = size > 1024
+        chain, _ = pool.build_chain(data, use_clusters)
+        for mbuf in chain.mbufs:
+            if sums_per_mbuf > 1:
+                mbuf.partial_sum = chunk_partial_sums(mbuf.data,
+                                                      sums_per_mbuf)
+            else:
+                mbuf.partial_sum = (raw_sum(mbuf.data), len(mbuf))
+        return chain
+
+    def test_full_chain_fully_covered(self, pool):
+        chain = self.build(pool, 500)
+        cov = coverage_for_span(chain, 0, 500)
+        assert cov.full
+        assert cov.covered_bytes == 500
+        assert cov.chunks_combined == chain.mbuf_count
+
+    def test_aligned_cluster_segment_covered(self, pool):
+        chain = self.build(pool, 8000)  # two 4096/3904 clusters
+        assert coverage_for_span(chain, 0, 4096).full
+        assert coverage_for_span(chain, 4096, 3904).full
+
+    def test_misaligned_segment_not_covered(self, pool):
+        chain = self.build(pool, 4000)  # one cluster
+        cov = coverage_for_span(chain, 0, 1460)
+        # The single whole-mbuf sum is not contained in the span.
+        assert cov.covered_bytes == 0
+        assert cov.uncovered_bytes == 1460
+
+    def test_multi_chunk_gives_partial_coverage(self, pool):
+        chain = self.build(pool, 4000, sums_per_mbuf=8)
+        cov = coverage_for_span(chain, 0, 1460)
+        # Some sub-chunks land entirely inside the 1460-byte span.
+        assert 0 < cov.covered_bytes < 1460
+        assert cov.covered_bytes + cov.uncovered_bytes == 1460
+
+    def test_mbuf_without_partials_uncovered(self, pool):
+        data = payload_pattern(300)
+        chain, _ = pool.build_chain(data, use_clusters=False)
+        cov = coverage_for_span(chain, 0, 300)
+        assert cov.covered_bytes == 0
+        assert not cov.full
+
+    @given(st.integers(min_value=1, max_value=4000), st.data())
+    def test_coverage_never_exceeds_span(self, size, data):
+        pool = MbufPool(decstation_5000_200())
+        payload = payload_pattern(size)
+        chain, _ = pool.build_chain(payload, use_clusters=size > 1024)
+        for mbuf in chain.mbufs:
+            mbuf.partial_sum = chunk_partial_sums(mbuf.data, 3)
+        offset = data.draw(st.integers(min_value=0, max_value=size - 1))
+        length = data.draw(st.integers(min_value=1,
+                                       max_value=size - offset))
+        cov = coverage_for_span(chain, offset, length)
+        assert 0 <= cov.covered_bytes <= length
+        assert cov.covered_bytes + cov.uncovered_bytes == length
+
+
+class TestEndToEndExtensions:
+    def run_transfer(self, config, size=4000, network="ethernet"):
+        if network == "ethernet":
+            tb = build_ethernet_pair(config=config)
+        else:
+            tb = build_atm_pair(config=config)
+        payload = payload_pattern(size)
+
+        def server(listener):
+            child = yield from listener.accept()
+            data = yield from child.recv(size, exact=True)
+            assert data == payload
+            yield from child.send(b"ok")
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.send(payload)
+            yield from sock.recv(2, exact=True)
+            return sock
+
+        listener = tb.server.socket()
+        listener.listen(SERVER_PORT)
+        tb.server.spawn(server(listener))
+        done = tb.client.spawn(client())
+        tb.sim.run_until_triggered(done)
+        return done.value
+
+    def test_segment_prediction_aligns_partials_on_ethernet(self):
+        base = KernelConfig(checksum_mode=ChecksumMode.INTEGRATED)
+        plain = self.run_transfer(base)
+        predicted = self.run_transfer(
+            base.with_overrides(socket_segment_prediction=True))
+        assert plain.conn.stats.partial_cksum_hits == 0
+        assert predicted.conn.stats.partial_cksum_misses == 0
+        assert predicted.conn.stats.partial_cksum_hits > 0
+
+    def test_segment_prediction_preserves_correctness(self):
+        config = KernelConfig(checksum_mode=ChecksumMode.INTEGRATED,
+                              socket_segment_prediction=True)
+        self.run_transfer(config, size=7000)
+
+    def test_multi_chunk_preserves_correctness(self):
+        config = KernelConfig(checksum_mode=ChecksumMode.INTEGRATED,
+                              partial_chunks_per_mbuf=4)
+        self.run_transfer(config, size=7000)

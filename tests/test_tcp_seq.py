@@ -1,0 +1,60 @@
+"""Property tests for 32-bit sequence arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.tcp.seq import (
+    SEQ_MOD,
+    seq_add,
+    seq_diff,
+    seq_geq,
+    seq_gt,
+    seq_leq,
+    seq_lt,
+)
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+small = st.integers(min_value=0, max_value=2**30)
+
+
+def test_wraparound_comparison():
+    near_top = SEQ_MOD - 10
+    assert seq_lt(near_top, 5)       # 5 is "after" 0xFFFFFFF6
+    assert seq_gt(5, near_top)
+    assert seq_diff(5, near_top) == 15
+
+
+def test_equality_cases():
+    assert seq_leq(7, 7)
+    assert seq_geq(7, 7)
+    assert not seq_lt(7, 7)
+    assert not seq_gt(7, 7)
+
+
+@given(seqs, small)
+def test_add_then_diff_roundtrips(a, n):
+    assert seq_diff(seq_add(a, n), a) == n
+
+
+@given(seqs, seqs)
+def test_lt_gt_antisymmetry(a, b):
+    if a != b:
+        # Exactly one direction holds (no sequence pair is ambiguous
+        # unless exactly half the space apart).
+        if seq_diff(a, b) != -(1 << 31):
+            assert seq_lt(a, b) != seq_lt(b, a)
+
+
+@given(seqs, small, small)
+def test_ordering_within_half_window(a, n1, n2):
+    b = seq_add(a, n1)
+    c = seq_add(b, n2)
+    if n1 > 0:
+        assert seq_lt(a, b)
+    if n1 + n2 < (1 << 31):
+        assert seq_leq(a, c)
+
+
+@given(seqs)
+def test_add_wraps_modulo(a):
+    assert seq_add(a, SEQ_MOD) == a
+    assert 0 <= seq_add(a, 12345) < SEQ_MOD

@@ -1,0 +1,152 @@
+"""Timing-model property tests: the physics must stay consistent.
+
+Whatever the parameters, the device and CPU models must respect basic
+conservation laws: cells cannot arrive before they were written, the
+wire cannot carry more than its bandwidth, the CPU cannot do more work
+than wall-clock time, and FIFOs cannot exceed their capacity.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm.aal import cells_needed
+from repro.atm.adapter import AtmLink, ForeTca100
+from repro.core.experiment import payload_pattern, run_round_trip
+from repro.kern.host import Host
+from repro.net.headers import IPHeader, TCPHeader
+from repro.net.packet import build_tcp_packet
+from repro.sim import CPU, Priority, Simulator
+
+
+def atm_pair(bandwidth_bps=140_000_000):
+    sim = Simulator()
+    a = Host(sim, "a", "10.0.0.1")
+    b = Host(sim, "b", "10.0.0.2")
+    link = AtmLink(sim, bandwidth_bps=bandwidth_bps)
+    link.attach(ForeTca100(a))
+    link.attach(ForeTca100(b))
+    return sim, a, b, link
+
+
+def make_packet(payload_len):
+    ip = IPHeader(src=1, dst=0x0A000002, total_length=0)
+    tcp = TCPHeader(src_port=1, dst_port=2, seq=0, ack=0)
+    return build_tcp_packet(ip, tcp, payload_pattern(payload_len))
+
+
+class TestAtmTimingInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=8900),
+           st.sampled_from([100_000_000, 140_000_000, 155_000_000]))
+    def test_arrival_respects_wire_physics(self, size, bandwidth):
+        """The last cell can arrive no earlier than the driver finishing
+        its copy plus one cell time, and no earlier than the full wire
+        serialization of the train."""
+        sim, a, b, link = atm_pair(bandwidth)
+        packet = make_packet(size)
+        record = {}
+        orig = b.interface.deliver
+
+        def spy(pdu, n, fault, db):
+            record["arrival"] = sim.now
+            record["cells"] = n
+            orig(pdu, n, fault, db)
+
+        b.interface.deliver = spy
+
+        def send():
+            yield from a.interface.output(packet, Priority.KERNEL, True)
+            record["copy_done"] = sim.now
+
+        sim.process(send())
+        sim.run()
+        n = record["cells"]
+        assert n == cells_needed(len(packet.data))
+        assert record["arrival"] >= record["copy_done"] + link.cell_time_ns
+        # Wire serialization bound: n cells need n cell-times from the
+        # moment the first cell could possibly start.
+        assert record["arrival"] >= n * link.cell_time_ns
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=8900),
+                    min_size=2, max_size=4))
+    def test_fifo_capacity_never_exceeded(self, sizes):
+        sim, a, b, link = atm_pair()
+
+        def send():
+            for size in sizes:
+                yield from a.interface.output(make_packet(size),
+                                              Priority.KERNEL, True)
+
+        sim.process(send())
+        sim.run()
+        assert (a.interface.stats.max_tx_fifo_cells
+                <= ForeTca100.TX_FIFO_CELLS)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=8900),
+                    min_size=2, max_size=4))
+    def test_arrivals_preserve_send_order(self, sizes):
+        sim, a, b, link = atm_pair()
+        arrivals = []
+        orig = b.interface.deliver
+
+        def spy(pdu, n, fault, db):
+            arrivals.append((sim.now, len(pdu)))
+            orig(pdu, n, fault, db)
+
+        b.interface.deliver = spy
+
+        def send():
+            for size in sizes:
+                yield from a.interface.output(make_packet(size),
+                                              Priority.KERNEL, True)
+
+        sim.process(send())
+        sim.run()
+        assert len(arrivals) == len(sizes)
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        assert [length - 40 for _, length in arrivals] == sizes
+
+
+class TestCpuConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5000),   # start delay
+                  st.integers(min_value=1, max_value=10_000),  # duration
+                  st.integers(min_value=0, max_value=3)),      # priority
+        min_size=1, max_size=12))
+    def test_work_conservation(self, jobs):
+        """Total CPU busy time equals total submitted work, and the
+        clock never runs past (last arrival + total work)."""
+        sim = Simulator()
+        cpu = CPU(sim)
+        total_work = sum(duration for _d, duration, _p in jobs)
+
+        def submit(delay, duration, priority):
+            def proc():
+                yield delay
+                cpu.run(duration, priority, f"job-{priority}")
+
+            sim.process(proc())
+
+        for delay, duration, priority in jobs:
+            submit(delay, duration, priority)
+        sim.run()
+        assert cpu.busy_ns == total_work
+        assert cpu.jobs_completed == len(jobs)
+        last_arrival = max(d for d, _du, _p in jobs)
+        assert sim.now <= last_arrival + total_work
+        assert cpu.idle
+
+
+class TestEndToEndTimingSanity:
+    def test_rtt_exceeds_physical_floor(self):
+        """No configuration can beat the wire: the RTT is always more
+        than two wire flights of the data."""
+        for size in (4, 8000):
+            result = run_round_trip(size=size, iterations=3, warmup=1)
+            cells = cells_needed(size + 40)
+            wire_floor_us = 2 * cells * 3.03
+            assert result.mean_rtt_us > wire_floor_us
