@@ -4,6 +4,19 @@ Regenerates the paper's tables and figures and prints them next to the
 published values.  With no arguments, everything is run; otherwise pass
 any of: table1 table2 table3 table4 table5 table6 table7 pcb mbuf sun3
 errors summary throughput profile calibration.
+
+Observability subcommands (see :mod:`repro.obs` and the README's
+"Observability" section):
+
+* ``python -m repro trace <target> [--out FILE] [--jsonl FILE]
+  [--size N] [--iterations N]`` — run one observed round-trip
+  experiment and export a Chrome ``trace_event`` JSON (open it in
+  ``chrome://tracing`` or https://ui.perfetto.dev) and optionally a
+  JSONL event stream.
+* ``python -m repro metrics [target] [--size N] [--iterations N]`` —
+  same run, but print the plain-text metrics/spans dump.
+* ``python -m repro --list`` — enumerate every runnable section and
+  trace target (used by CI).
 """
 
 from __future__ import annotations
@@ -231,13 +244,129 @@ SECTIONS = {
     "profile": profile, "calibration": calibration,
 }
 
+#: Observable experiments for ``trace``/``metrics``: target name ->
+#: (network, KernelConfig overrides).  Tables that are pure
+#: microbenchmarks (table5, pcb, mbuf, sun3) have no packet timeline
+#: and are deliberately absent.
+TRACE_TARGETS = {
+    "table1": ("atm", {}),
+    "table2": ("atm", {}),
+    "table3": ("atm", {}),
+    "table4": ("atm", {"header_prediction": False}),
+    "table6": ("atm", {"checksum_mode": ChecksumMode.INTEGRATED}),
+    "table7": ("atm", {"checksum_mode": ChecksumMode.OFF}),
+    "ethernet": ("ethernet", {}),
+}
+
+
+def _parse_obs_args(args, default_size=8000, default_iters=4):
+    """Parse ``[target] [--out F] [--jsonl F] [--size N] [--iterations N]``."""
+    opts = {"target": None, "out": None, "jsonl": None,
+            "size": default_size, "iterations": default_iters}
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("--out", "--jsonl", "--size", "--iterations"):
+            if i + 1 >= len(args):
+                raise ValueError(f"{arg} needs a value")
+            value = args[i + 1]
+            key = arg[2:]
+            opts[key] = int(value) if key in ("size", "iterations") \
+                else value
+            i += 2
+        elif arg.startswith("-"):
+            raise ValueError(f"unknown option {arg}")
+        elif opts["target"] is None:
+            opts["target"] = arg
+            i += 1
+        else:
+            raise ValueError(f"unexpected argument {arg}")
+    return opts
+
+
+def _observed_run(target, size, iterations):
+    """Run one observed round-trip experiment; returns the observer."""
+    from repro.core.experiment import run_round_trip
+    from repro.obs import Observer
+
+    network, overrides = TRACE_TARGETS[target]
+    config = KernelConfig(**overrides) if overrides else None
+    observer = Observer()
+    result = run_round_trip(size=size, network=network, config=config,
+                            iterations=iterations, warmup=1,
+                            observer=observer)
+    return observer, result
+
+
+def cmd_trace(args) -> int:
+    """``python -m repro trace <target> --out FILE [--jsonl FILE]``."""
+    from repro.obs import write_chrome_trace, write_jsonl
+    try:
+        opts = _parse_obs_args(args)
+    except ValueError as error:
+        print(f"trace: {error}")
+        return 2
+    target = opts["target"] or "table2"
+    if target not in TRACE_TARGETS:
+        print(f"unknown trace target {target!r}")
+        print(f"available: {' '.join(TRACE_TARGETS)}")
+        return 2
+    observer, result = _observed_run(target, opts["size"],
+                                     opts["iterations"])
+    out = opts["out"] or f"{target}.trace.json"
+    n_events = write_chrome_trace(observer, out)
+    print(f"trace {target}: size={result.size} "
+          f"mean_rtt={result.mean_rtt_us:.1f}us; "
+          f"{n_events} events -> {out} "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
+    if opts["jsonl"]:
+        n_lines = write_jsonl(observer, opts["jsonl"])
+        print(f"{n_lines} JSONL records -> {opts['jsonl']}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """``python -m repro metrics [target]`` — text metrics dump."""
+    from repro.obs import metrics_text
+    try:
+        opts = _parse_obs_args(args, default_size=1400)
+    except ValueError as error:
+        print(f"metrics: {error}")
+        return 2
+    target = opts["target"] or "table1"
+    if target not in TRACE_TARGETS:
+        print(f"unknown metrics target {target!r}")
+        print(f"available: {' '.join(TRACE_TARGETS)}")
+        return 2
+    observer, result = _observed_run(target, opts["size"],
+                                     opts["iterations"])
+    print(f"# {target}: size={result.size} "
+          f"mean_rtt={result.mean_rtt_us:.1f}us "
+          f"iterations={result.iterations}")
+    print(metrics_text(observer))
+    return 0
+
+
+def list_targets() -> int:
+    """``python -m repro --list`` — machine-readable enumeration."""
+    print("sections:", " ".join(SECTIONS))
+    print("trace-targets:", " ".join(TRACE_TARGETS))
+    return 0
+
 
 def main(argv) -> int:
-    names = argv[1:] or list(SECTIONS)
+    args = list(argv[1:])
+    if "--list" in args:
+        return list_targets()
+    if args and args[0] == "trace":
+        return cmd_trace(args[1:])
+    if args and args[0] == "metrics":
+        return cmd_metrics(args[1:])
+    names = args or list(SECTIONS)
     unknown = [n for n in names if n not in SECTIONS]
     if unknown:
         print(f"unknown section(s): {', '.join(unknown)}")
-        print(f"available: {' '.join(SECTIONS)}")
+        print(f"available: {' '.join(SECTIONS)} trace metrics --list")
         return 2
     for i, name in enumerate(names):
         if i:

@@ -168,6 +168,12 @@ class ForeTca100:
 
         self.stats.packets_sent += 1
         self.stats.cells_sent += n
+        metrics = self.host.metrics
+        if metrics is not None:
+            metrics.inc("atm.packets_sent")
+            metrics.inc("atm.cells_sent", n)
+            if stall_ns > 0:
+                metrics.inc("atm.tx_stalls")
 
         wire_bytes, wire_fault = self._apply_wire_faults(packet)
         peer = link.peer_of(self)
@@ -211,6 +217,8 @@ class ForeTca100:
         host = self.host
         costs = host.costs
         arrived_at = host.sim.now
+        if host.metrics is not None:
+            host.metrics.inc("atm.interrupts")
         yield host.cpu.run(us(costs.intr_overhead_us),
                            Priority.HARD_INTR, "atm intr")
 
@@ -225,6 +233,9 @@ class ForeTca100:
         self._rx_fifo_cells -= n_cells
         self.stats.packets_received += 1
         self.stats.cells_received += n_cells
+        if host.metrics is not None:
+            host.metrics.inc("atm.packets_received")
+            host.metrics.inc("atm.cells_received", n_cells)
 
         span = "rx.atm" if data_bearing else "rx.ack.atm"
         host.tracer.record_value(
@@ -236,6 +247,8 @@ class ForeTca100:
         # retransmission timer recovers.
         if wire_fault is not None and wire_fault.detected_by_link_check:
             self.stats.aal_errors += 1
+            if host.metrics is not None:
+                host.metrics.inc("atm.aal_errors")
             return
 
         packet = Packet(pdu)

@@ -45,6 +45,11 @@ class RoundTripResult:
     client_stats: Optional[dict] = None
     server_stats: Optional[dict] = None
     echo_errors: int = 0
+    #: SpanTracer snapshots taken just before the warmup reset, so the
+    #: connection-setup/warmup spans survive (mergeable via
+    #: SpanTracer.merge for whole-run aggregation).
+    warmup_client_spans: Optional[Dict[str, dict]] = None
+    warmup_server_spans: Optional[Dict[str, dict]] = None
 
     @property
     def mean_rtt_us(self) -> float:
@@ -114,7 +119,11 @@ class RoundTripBenchmark:
         for i in range(self.warmup + self.iterations):
             if i == self.warmup:
                 # Steady state reached: start measuring, like the
-                # paper's timer placed after connection setup.
+                # paper's timer placed after connection setup.  The
+                # warmup spans are snapshotted first so nothing is
+                # lost to the reset (satellite of the obs pipeline).
+                self.result.warmup_client_spans = tb.client.tracer.snapshot()
+                self.result.warmup_server_spans = tb.server.tracer.snapshot()
                 tb.client.tracer.reset()
                 tb.server.tracer.reset()
             t0 = clock.read_ticks()
@@ -149,14 +158,32 @@ def run_round_trip(size: int, network: str = "atm",
                    config: Optional[KernelConfig] = None,
                    costs: Optional[MachineCosts] = None,
                    iterations: int = 12, warmup: int = 3,
-                   ) -> RoundTripResult:
-    """Build a fresh testbed and run one benchmark point."""
+                   observer=None) -> RoundTripResult:
+    """Build a fresh testbed and run one benchmark point.
+
+    Pass *observer* (a :class:`repro.obs.Observer`) to capture the
+    run's full observability stream — CPU-context timeline, metrics,
+    spans, packets; final host state is folded in via
+    ``observer.collect`` before returning.  Timing results are
+    unaffected: hooks never mutate simulator state.
+    """
     if network == "atm":
-        testbed = build_atm_pair(config=config, costs=costs)
+        testbed = build_atm_pair(config=config, costs=costs,
+                                 observer=observer)
     elif network == "ethernet":
-        testbed = build_ethernet_pair(config=config, costs=costs)
+        testbed = build_ethernet_pair(config=config, costs=costs,
+                                      observer=observer)
     else:
         raise ValueError(f"unknown network {network!r}")
     bench = RoundTripBenchmark(testbed, size, iterations=iterations,
                                warmup=warmup)
-    return bench.run()
+    result = bench.run()
+    if observer is not None:
+        observer.collect(testbed)
+        if result.warmup_client_spans:
+            observer.merge_spans(testbed.client.name,
+                                 result.warmup_client_spans)
+        if result.warmup_server_spans:
+            observer.merge_spans(testbed.server.name,
+                                 result.warmup_server_spans)
+    return result

@@ -53,10 +53,18 @@ class PacketEvent:
 
 
 class PacketLog:
-    """Accumulates :class:`PacketEvent`s from one or more hosts."""
+    """Accumulates :class:`PacketEvent`s from one or more hosts.
 
-    def __init__(self) -> None:
+    An optional *sink* (``sink(event)``) taps every recorded event into
+    the observability pipeline — an attached
+    :class:`~repro.obs.observer.Observer` uses this to turn wire
+    observations into trace instants and per-host packet counters.
+    """
+
+    def __init__(self, sink: Optional[Callable[[PacketEvent], None]]
+                 = None) -> None:
         self.events: List[PacketEvent] = []
+        self.sink = sink
 
     def __len__(self) -> int:
         return len(self.events)
@@ -69,7 +77,7 @@ class PacketLog:
             payload_len = len(packet.payload)
         except HeaderError:
             return  # corrupted beyond parsing; nothing to decode
-        self.events.append(PacketEvent(
+        event = PacketEvent(
             time_us=time_us,
             host=host_name,
             direction=direction,
@@ -77,7 +85,10 @@ class PacketLog:
             dst=f"{ip_ntoa(ip.dst)}:{tcp.dst_port}",
             seq=tcp.seq, ack=tcp.ack, flags=tcp.flags,
             window=tcp.window, payload_len=payload_len,
-        ))
+        )
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
 
     # ------------------------------------------------------------------
     # Queries
@@ -100,16 +111,23 @@ class PacketLog:
                 and not e.flags & TCPFlags.FIN]
 
     def format(self, limit: Optional[int] = None) -> str:
-        events = self.events[:limit] if limit else self.events
+        """Up to *limit* tcpdump-ish lines (None = all, 0 = none)."""
+        events = self.events if limit is None else self.events[:limit]
         return "\n".join(e.format() for e in events)
 
     def clear(self) -> None:
         self.events.clear()
 
 
-def attach_packet_log(testbed) -> PacketLog:
-    """Wire a fresh :class:`PacketLog` into both hosts of a testbed."""
-    log = PacketLog()
+def attach_packet_log(testbed, observer=None) -> PacketLog:
+    """Wire a fresh :class:`PacketLog` into both hosts of a testbed.
+
+    With *observer* given (or previously attached to the testbed), the
+    log also feeds the observability pipeline.
+    """
+    if observer is None:
+        observer = getattr(testbed, "observer", None)
+    log = PacketLog(sink=observer.on_packet if observer else None)
     for host in testbed.hosts:
         host.packet_log = log
     return log

@@ -27,6 +27,8 @@ class Testbed:
         self.client = client
         self.server = server
         self.link = link
+        #: The attached repro.obs.Observer, if any (set by attach()).
+        self.observer = None
 
     @property
     def hosts(self):
@@ -48,24 +50,41 @@ def _make_pair(config: Optional[KernelConfig],
 def build_atm_pair(config: Optional[KernelConfig] = None,
                    costs: Optional[MachineCosts] = None,
                    bandwidth_bps: int = 140_000_000,
-                   prop_delay_ns: int = 500) -> Testbed:
-    """Two workstations with FORE TCA-100s on a private fiber."""
+                   prop_delay_ns: int = 500,
+                   observer=None) -> Testbed:
+    """Two workstations with FORE TCA-100s on a private fiber.
+
+    With *observer* (a :class:`repro.obs.Observer`), the full
+    observability pipeline — kernel hooks, metrics, span/packet sinks —
+    is wired in before anything runs; without it the testbed is
+    unobserved and byte-identical to the seed.
+    """
     sim, client, server = _make_pair(config, costs)
     link = AtmLink(sim, bandwidth_bps=bandwidth_bps,
                    prop_delay_ns=prop_delay_ns)
     link.attach(ForeTca100(client))
     link.attach(ForeTca100(server))
-    return Testbed(sim, client, server, link)
+    testbed = Testbed(sim, client, server, link)
+    if observer is not None:
+        observer.attach(testbed)
+    return testbed
 
 
 def build_ethernet_pair(config: Optional[KernelConfig] = None,
                         costs: Optional[MachineCosts] = None,
                         bandwidth_bps: int = 10_000_000,
-                        prop_delay_ns: int = 1000) -> Testbed:
-    """Two workstations on a private 10 Mb/s Ethernet."""
+                        prop_delay_ns: int = 1000,
+                        observer=None) -> Testbed:
+    """Two workstations on a private 10 Mb/s Ethernet.
+
+    *observer* works as in :func:`build_atm_pair`.
+    """
     sim, client, server = _make_pair(config, costs)
     link = EthernetLink(sim, bandwidth_bps=bandwidth_bps,
                         prop_delay_ns=prop_delay_ns)
     link.attach(LanceEthernet(client))
     link.attach(LanceEthernet(server))
-    return Testbed(sim, client, server, link)
+    testbed = Testbed(sim, client, server, link)
+    if observer is not None:
+        observer.attach(testbed)
+    return testbed

@@ -134,6 +134,9 @@ class LanceEthernet:
 
         self.stats.frames_sent += 1
         self.stats.bytes_sent += length
+        if host.metrics is not None:
+            host.metrics.inc("ether.frames_sent")
+            host.metrics.inc("ether.bytes_sent", length)
 
         wire_bytes = packet.data
         wire_fault = None
@@ -159,6 +162,8 @@ class LanceEthernet:
         host = self.host
         costs = host.costs
         arrived_at = host.sim.now
+        if host.metrics is not None:
+            host.metrics.inc("ether.interrupts")
         yield host.cpu.run(us(costs.intr_overhead_us),
                            Priority.HARD_INTR, "ether intr")
         cost = us(costs.ether_rx_fixed_us
@@ -169,9 +174,14 @@ class LanceEthernet:
             span, (host.sim.now - arrived_at) / 1000.0)
         self.stats.frames_received += 1
         self.stats.bytes_received += len(frame_payload)
+        if host.metrics is not None:
+            host.metrics.inc("ether.frames_received")
+            host.metrics.inc("ether.bytes_received", len(frame_payload))
         if wire_fault is not None and wire_fault.detected_by_link_check:
             # The Ethernet CRC caught it: frame dropped by the adapter.
             self.stats.fcs_errors += 1
+            if host.metrics is not None:
+                host.metrics.inc("ether.fcs_errors")
             return
         packet = Packet(frame_payload)
         packet.last_cell_arrival_ns = arrived_at

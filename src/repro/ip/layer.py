@@ -78,6 +78,8 @@ class IPLayer:
                 us(costs.ip_output_us + costs.ip_hdr_cksum_us),
                 priority, "ip_output", span=span)
             self.stats.sent += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("ip.sent")
             if self.host.packet_log is not None:
                 self.host.packet_log.record(self.host.name, "tx", fragment,
                                             self.host.sim.now / 1000.0)
@@ -89,6 +91,8 @@ class IPLayer:
     def input(self, packet: Packet) -> Generator:
         """ipintr body for one datagram (SOFT_INTR context)."""
         self.stats.received += 1
+        if self.host.metrics is not None:
+            self.host.metrics.inc("ip.received")
         costs = self.host.costs
         try:
             data_bearing = len(packet.payload) > 0
@@ -107,6 +111,8 @@ class IPLayer:
             # A corrupted header: caught by the IP header checksum (or
             # unparseable outright); the datagram is silently dropped.
             self.stats.hdr_cksum_errors += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("ip.hdr_cksum_errors")
             return
         if ip_hdr.flags_fragment & (IP_MF | 0x1FFF):
             # A fragment: hand to the reassembler; continue only when a

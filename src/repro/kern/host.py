@@ -58,6 +58,12 @@ class Host:
         self.interface = None
         #: Optional tcpdump-style tracer (see repro.core.packetlog).
         self.packet_log = None
+        #: Observability pipeline (see repro.obs): a ScopedMetrics view
+        #: and the owning Observer, both installed by Observer.attach().
+        #: None by default — every instrumentation point in the stack
+        #: guards on it, so unobserved runs pay one attribute read.
+        self.metrics = None
+        self.observer = None
         #: splnet: BSD serializes protocol processing by masking the
         #: network software interrupt while a process runs inside the
         #: stack.  Here a mutex plays that role — the softint's

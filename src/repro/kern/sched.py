@@ -34,6 +34,8 @@ class ProcessScheduler:
         self._channels: Dict[Hashable, Signal] = {}
         self.sleeps = 0
         self.wakeups = 0
+        #: Observability scope (repro.obs), installed by Observer.attach.
+        self.metrics = None
 
     def _channel(self, chan: Hashable) -> Signal:
         signal = self._channels.get(chan)
@@ -55,12 +57,18 @@ class ProcessScheduler:
         recorded under that name (the paper's Wakeup row).
         """
         self.sleeps += 1
+        if self.metrics is not None:
+            self.metrics.inc("sched.sleeps")
         wake_time_ns = yield self._channel(chan).wait()
         # Placed on the run queue: now compete for the CPU to switch in.
         yield self.cpu.run(
             int(self.costs.context_switch_us * 1000),
             Priority.KERNEL, "cswitch",
         )
+        if self.metrics is not None:
+            self.metrics.inc("sched.cswitch")
+            self.metrics.observe(
+                "sched.wakeup_us", (self.sim.now - wake_time_ns) / 1000.0)
         if span and self.tracer is not None:
             self.tracer.record_value(
                 span, (self.sim.now - wake_time_ns) / 1000.0
@@ -78,6 +86,8 @@ class ProcessScheduler:
         if signal is None or signal.waiter_count == 0:
             return
         self.wakeups += 1
+        if self.metrics is not None:
+            self.metrics.inc("sched.wakeups")
         yield self.cpu.run(
             int(self.costs.wakeup_us * 1000), priority, "wakeup",
         )

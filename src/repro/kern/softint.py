@@ -45,6 +45,8 @@ class SoftNet:
         self._pending = False
         self.dispatched = 0
         self.dropped_full = 0
+        #: Observability scope (repro.obs), installed by Observer.attach.
+        self.metrics = None
 
     @property
     def queue_length(self) -> int:
@@ -59,9 +61,14 @@ class SoftNet:
         if len(self._queue) >= self.IPQ_MAX:
             # IP input queue overflow: silently dropped, as in BSD.
             self.dropped_full += 1
+            if self.metrics is not None:
+                self.metrics.inc("ipq.dropped_full")
             return
         packet.enqueued_ipq_at = self.sim.now
         self._queue.append(packet)
+        if self.metrics is not None:
+            self.metrics.inc("ipq.enqueued")
+            self.metrics.set_max("ipq.depth_max", len(self._queue))
         if not self._pending:
             self._pending = True
             self.sim.process(self._netisr(), name="netisr")
@@ -101,12 +108,16 @@ class SoftNet:
                 self.sim.process(self._netisr(), name="netisr")
 
     def _record_ipq_span(self, packet: Packet) -> None:
-        if self.tracer is None or packet.enqueued_ipq_at is None:
+        if packet.enqueued_ipq_at is None:
+            return
+        wait_us = (self.sim.now - packet.enqueued_ipq_at) / 1000.0
+        if self.metrics is not None:
+            self.metrics.observe("ipq.wait_us", wait_us)
+        if self.tracer is None:
             return
         try:
             data_bearing = len(packet.payload) > 0
         except Exception:
             data_bearing = False  # unparseable (corrupted) datagram
         span = "rx.ipq" if data_bearing else "rx.ack.ipq"
-        self.tracer.record_value(
-            span, (self.sim.now - packet.enqueued_ipq_at) / 1000.0)
+        self.tracer.record_value(span, wait_us)

@@ -1,0 +1,66 @@
+"""Unified observability for the simulated stack.
+
+One pipeline behind all instrumentation, mirroring the paper's method
+of reading a 40 ns clock at layer boundaries — but exportable:
+
+* :mod:`repro.obs.hooks` — the :class:`SimHooks` protocol the event
+  kernel and CPU model fire (``NoopHooks``/``None`` = zero overhead);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms incremented throughout TCP/IP/driver/scheduler code;
+* :mod:`repro.obs.observer` — the :class:`Observer` that attaches to a
+  testbed and accumulates slices, spans, packets and metrics;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto),
+  JSONL streams, and plain-text dumps.
+
+Quick use::
+
+    from repro.obs import Observer, write_chrome_trace
+    from repro.core.experiment import run_round_trip
+
+    obs = Observer()
+    run_round_trip(size=8000, observer=obs)
+    write_chrome_trace(obs, "t2.json")   # open in ui.perfetto.dev
+
+Import note: :mod:`repro.sim.engine` imports :mod:`repro.obs.hooks`,
+so this ``__init__`` must only import modules with no dependency on
+the simulation kernel (hooks, metrics); the rest load lazily.
+"""
+
+from repro.obs.hooks import NoopHooks, SimHooks
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedMetrics,
+)
+
+__all__ = [
+    "SimHooks", "NoopHooks",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "ScopedMetrics",
+    "Observer", "CpuTraceHooks",
+    "chrome_trace", "write_chrome_trace", "trace_jsonl", "write_jsonl",
+    "metrics_text", "span_table",
+]
+
+_LAZY = {
+    "Observer": "repro.obs.observer",
+    "CpuTraceHooks": "repro.obs.observer",
+    "chrome_trace": "repro.obs.export",
+    "write_chrome_trace": "repro.obs.export",
+    "trace_jsonl": "repro.obs.export",
+    "write_jsonl": "repro.obs.export",
+    "metrics_text": "repro.obs.export",
+    "span_table": "repro.obs.export",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,283 @@
+"""The observability pipeline hub.
+
+An :class:`Observer` is the single object a run attaches to a testbed
+to see everything the paper's measurement methodology sees — and more:
+
+* it installs :class:`~repro.obs.hooks.SimHooks` on the simulator, so
+  CPU context activity (hardware interrupts preempting softints
+  preempting processes) becomes timeline slices;
+* it owns the run's :class:`~repro.obs.metrics.MetricsRegistry` and
+  hands each host a scoped view (``client.*`` / ``server.*``);
+* it sinks :class:`~repro.sim.trace.SpanTracer` spans (the paper's
+  ``tx.user`` ... ``rx.wakeup`` rows) and
+  :class:`~repro.core.packetlog.PacketLog` packets into the same event
+  stream;
+* it snapshots final stats (adapter counters, CPU cycles profile, TCP
+  layer counters) when :meth:`collect` is called at end of run.
+
+Exporters (:mod:`repro.obs.export`) turn the accumulated state into a
+Chrome ``trace_event`` file, a JSONL event stream, or a plain-text
+metrics dump.
+
+Everything here is opt-in: constructing a testbed without an observer
+leaves ``Simulator.hooks`` and every ``metrics`` attribute ``None``,
+and the simulated timeline is byte-identical to the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.hooks import SimHooks
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Observer", "CpuTraceHooks", "TID_HARD_INTR", "TID_SOFT_INTR",
+           "TID_KERNEL", "TID_USER", "TID_SPANS", "TID_NET"]
+
+#: Chrome-trace thread ids: one per simulated CPU context, matching
+#: :class:`repro.sim.cpu.Priority` (so preemption nests visually), plus
+#: synthetic lanes for latency spans and wire packets.
+TID_HARD_INTR = 0
+TID_SOFT_INTR = 1
+TID_KERNEL = 2
+TID_USER = 3
+TID_SPANS = 8
+TID_NET = 9
+
+TID_NAMES = {
+    TID_HARD_INTR: "cpu:hard_intr",
+    TID_SOFT_INTR: "cpu:soft_intr",
+    TID_KERNEL: "cpu:kernel",
+    TID_USER: "cpu:user",
+    TID_SPANS: "spans",
+    TID_NET: "net",
+}
+
+
+class CpuTraceHooks(SimHooks):
+    """SimHooks implementation feeding an :class:`Observer`.
+
+    CPU job lifecycle becomes complete ("X") slices on the per-context
+    thread of the owning host; engine lifecycle becomes counters.  A
+    job's slice is opened at start/resume and closed at preempt/finish,
+    so a preempted copy shows up as two slices with the interrupt's
+    slice between them — the paper's "interrupt steals cycles from a
+    user process mid-copy" picture, literally visible in Perfetto.
+    """
+
+    def __init__(self, observer: "Observer"):
+        self.observer = observer
+        #: (cpu name, priority) -> (job name, slice start ns)
+        self._open: Dict[Tuple[str, int], Tuple[str, int]] = {}
+
+    # --- engine -------------------------------------------------------
+    def on_schedule(self, now_ns: int, call: Any) -> None:
+        self.observer.metrics.inc("sim.scheduled")
+
+    def on_dispatch(self, now_ns: int, call: Any) -> None:
+        self.observer.metrics.inc("sim.dispatched")
+
+    def on_process_start(self, now_ns: int, process: Any) -> None:
+        self.observer.metrics.inc("sim.processes_started")
+
+    def on_process_end(self, now_ns: int, process: Any) -> None:
+        self.observer.metrics.inc("sim.processes_finished")
+
+    # --- CPU ----------------------------------------------------------
+    def on_job_start(self, now_ns: int, cpu: Any, job: Any) -> None:
+        self._open[(cpu.name, job.priority)] = (job.name, now_ns)
+        self.observer.metrics.set_max(f"{cpu.name}.runq_max",
+                                      cpu.queue_depth())
+
+    def on_job_resume(self, now_ns: int, cpu: Any, job: Any) -> None:
+        self._open[(cpu.name, job.priority)] = (job.name, now_ns)
+
+    def on_job_preempt(self, now_ns: int, cpu: Any, job: Any) -> None:
+        self.observer.metrics.inc(f"{cpu.name}.preemptions")
+        self._close(now_ns, cpu, job, preempted=True)
+
+    def on_job_finish(self, now_ns: int, cpu: Any, job: Any) -> None:
+        self._close(now_ns, cpu, job, preempted=False)
+
+    def _close(self, now_ns: int, cpu: Any, job: Any,
+               preempted: bool) -> None:
+        opened = self._open.pop((cpu.name, job.priority), None)
+        if opened is None:
+            return
+        name, start_ns = opened
+        self.observer.emit_slice(
+            pid=self.observer.pid_for_cpu(cpu.name),
+            tid=job.priority, name=name, cat="cpu",
+            start_ns=start_ns, end_ns=now_ns,
+            args={"preempted": True} if preempted else None,
+        )
+
+
+class Observer:
+    """Collects one run's trace events, metrics, spans and packets."""
+
+    def __init__(self, capture_packets: bool = True):
+        self.metrics = MetricsRegistry()
+        #: Chrome-format event dicts (ts/dur in float microseconds).
+        self.trace_events: List[dict] = []
+        #: host name -> merged span snapshot (see SpanTracer.snapshot).
+        self.spans: Dict[str, Dict[str, dict]] = {}
+        self.capture_packets = capture_packets
+        self.packet_log = None  # created on attach when capturing
+        self.hooks = CpuTraceHooks(self)
+        self.testbeds: List[Any] = []
+        self._pids: Dict[str, int] = {}       # host name -> pid
+        self._pid_by_cpu: Dict[str, int] = {}  # cpu name -> pid
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, testbed) -> "Observer":
+        """Wire this observer into a testbed (before running it)."""
+        testbed.sim.set_hooks(self.hooks)
+        testbed.observer = self
+        for host in testbed.hosts:
+            self.attach_host(host)
+        if self.capture_packets:
+            from repro.core.packetlog import attach_packet_log
+            self.packet_log = attach_packet_log(testbed, observer=self)
+        self.testbeds.append(testbed)
+        return self
+
+    def attach_host(self, host) -> None:
+        """Give one host a metrics scope and a span sink."""
+        pid = self._pids.get(host.name)
+        if pid is None:
+            pid = self._pids[host.name] = len(self._pids) + 1
+            self._emit_metadata(pid, host.name)
+        self._pid_by_cpu[host.cpu.name] = pid
+        host.observer = self
+        scoped = self.metrics.scope(host.name)
+        host.metrics = scoped
+        host.softnet.metrics = scoped
+        host.scheduler.metrics = scoped
+
+        def span_sink(name: str, duration_us: float, end_us: float,
+                      _pid: int = pid) -> None:
+            self.on_span(_pid, name, duration_us, end_us)
+
+        host.tracer.sink = span_sink
+
+    def pid_for_cpu(self, cpu_name: str) -> int:
+        return self._pid_by_cpu.get(cpu_name, 0)
+
+    def pid_for_host(self, host_name: str) -> int:
+        return self._pids.get(host_name, 0)
+
+    # ------------------------------------------------------------------
+    # Sinks (called by hooks / SpanTracer / PacketLog)
+    # ------------------------------------------------------------------
+    def emit_slice(self, pid: int, tid: int, name: str, cat: str,
+                   start_ns: int, end_ns: int,
+                   args: Optional[dict] = None) -> None:
+        event = {"name": name, "cat": cat, "ph": "X",
+                 "ts": start_ns / 1000.0,
+                 "dur": (end_ns - start_ns) / 1000.0,
+                 "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.trace_events.append(event)
+
+    def emit_instant(self, pid: int, tid: int, name: str, cat: str,
+                     ts_ns: float, args: Optional[dict] = None) -> None:
+        event = {"name": name, "cat": cat, "ph": "i", "s": "t",
+                 "ts": ts_ns / 1000.0, "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.trace_events.append(event)
+
+    def on_span(self, pid: int, name: str, duration_us: float,
+                end_us: float) -> None:
+        """A SpanTracer recorded one latency span."""
+        self.trace_events.append({
+            "name": name, "cat": "span", "ph": "X",
+            "ts": end_us - duration_us, "dur": duration_us,
+            "pid": pid, "tid": TID_SPANS,
+        })
+
+    def on_packet(self, packet_event) -> None:
+        """A PacketLog recorded one wire observation."""
+        pid = self.pid_for_host(packet_event.host)
+        self.metrics.inc(
+            f"{packet_event.host}.packets.{packet_event.direction}")
+        self.emit_instant(
+            pid, TID_NET,
+            f"{packet_event.direction} {packet_event.flags_text}"
+            f" len={packet_event.payload_len}",
+            cat="net", ts_ns=packet_event.time_us * 1000.0,
+            args={"src": packet_event.src, "dst": packet_event.dst,
+                  "seq": packet_event.seq, "ack": packet_event.ack,
+                  "len": packet_event.payload_len},
+        )
+
+    def _emit_metadata(self, pid: int, host_name: str) -> None:
+        self.trace_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0.0, "args": {"name": host_name}})
+        for tid, tname in TID_NAMES.items():
+            self.trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "ts": 0.0, "args": {"name": tname}})
+            self.trace_events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid,
+                "tid": tid, "ts": 0.0, "args": {"sort_index": tid}})
+
+    # ------------------------------------------------------------------
+    # End-of-run collection
+    # ------------------------------------------------------------------
+    def collect(self, testbed=None) -> None:
+        """Fold final per-host state into metrics and span snapshots.
+
+        Safe to call repeatedly and across testbeds (multi-run
+        aggregation): span snapshots merge rather than overwrite.
+        """
+        from repro.core.profile import profile_to_metrics
+        testbeds = [testbed] if testbed is not None else self.testbeds
+        for tb in testbeds:
+            for host in tb.hosts:
+                scoped = self.metrics.scope(host.name)
+                self.merge_spans(host.name, host.tracer.snapshot())
+                profile_to_metrics(host, scoped)
+                scoped.set_gauge("cpu.busy_us", host.cpu.busy_ns / 1000.0)
+                scoped.set_gauge("cpu.jobs_completed",
+                                 host.cpu.jobs_completed)
+                scoped.set_gauge("cpu.preemptions", host.cpu.preemptions)
+                scoped.set_gauge("ipq.dispatched", host.softnet.dispatched)
+                scoped.set_gauge("ipq.dropped_full",
+                                 host.softnet.dropped_full)
+                iface = host.interface
+                if iface is not None and hasattr(iface, "stats"):
+                    stats = iface.stats
+                    for field in stats.__slots__:
+                        scoped.set_gauge(f"iface.{field}",
+                                         getattr(stats, field))
+                for field in host.tcp.stats.__slots__:
+                    scoped.set_gauge(f"tcpstat.{field}",
+                                     getattr(host.tcp.stats, field))
+
+    def merge_spans(self, host_name: str,
+                    snapshot: Dict[str, dict]) -> None:
+        """Merge a SpanTracer snapshot into this observer's aggregate."""
+        dst = self.spans.setdefault(host_name, {})
+        for name, stats in snapshot.items():
+            cur = dst.get(name)
+            if cur is None:
+                dst[name] = dict(stats)
+                continue
+            total_count = cur["count"] + stats["count"]
+            cur["total_us"] += stats["total_us"]
+            if stats["count"]:
+                if cur["count"] == 0:
+                    cur["min_us"] = stats["min_us"]
+                    cur["max_us"] = stats["max_us"]
+                else:
+                    cur["min_us"] = min(cur["min_us"], stats["min_us"])
+                    cur["max_us"] = max(cur["max_us"], stats["max_us"])
+            cur["count"] = total_count
+            cur["mean_us"] = (cur["total_us"] / total_count
+                              if total_count else 0.0)

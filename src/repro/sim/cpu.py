@@ -47,7 +47,8 @@ class Job:
     ``duration_ns`` of (possibly non-contiguous) time to it.
     """
 
-    __slots__ = ("priority", "seq", "remaining", "done", "name", "enqueued_at")
+    __slots__ = ("priority", "seq", "remaining", "done", "name",
+                 "enqueued_at", "started")
 
     def __init__(self, priority: int, seq: int, duration_ns: int,
                  done: Event, name: str, enqueued_at: int):
@@ -57,6 +58,8 @@ class Job:
         self.done = done
         self.name = name
         self.enqueued_at = enqueued_at
+        #: Whether the job has ever held the CPU (start vs resume hooks).
+        self.started = False
 
     def __lt__(self, other: "Job") -> bool:
         return (self.priority, self.seq) < (other.priority, other.seq)
@@ -136,6 +139,13 @@ class CPU:
         job = heapq.heappop(self._ready)
         self._running = job
         self._run_started_at = self.sim.now
+        hooks = self.sim.hooks
+        if hooks is not None:
+            if job.started:
+                hooks.on_job_resume(self.sim.now, self, job)
+            else:
+                hooks.on_job_start(self.sim.now, self, job)
+        job.started = True
         self._completion = self.sim.schedule(
             job.remaining, self._complete, job
         )
@@ -157,6 +167,8 @@ class CPU:
         self._running = None
         self.preemptions += 1
         heapq.heappush(self._ready, job)
+        if self.sim.hooks is not None:
+            self.sim.hooks.on_job_preempt(self.sim.now, self, job)
 
     def _complete(self, job: Job) -> None:
         assert job is self._running
@@ -164,5 +176,7 @@ class CPU:
         self._running = None
         self._completion = None
         self.jobs_completed += 1
+        if self.sim.hooks is not None:
+            self.sim.hooks.on_job_finish(self.sim.now, self, job)
         job.done.succeed()
         self._dispatch()

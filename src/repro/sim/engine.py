@@ -10,6 +10,10 @@ The kernel is deliberately small and deterministic:
   (in the style of simpy): a process ``yield``\\ s an :class:`Event` (or a
   plain integer, treated as a timeout in nanoseconds) and is resumed with
   the event's value when it triggers.
+* Observability hooks (:class:`repro.obs.hooks.SimHooks`) may be
+  installed via :meth:`Simulator.set_hooks`; the default is ``None``
+  and every hook site is a single ``is not None`` test, so an
+  unobserved run pays nothing and stays byte-identical to the seed.
 
 Everything else in :mod:`repro` — the CPU model, the device models, the
 protocol stack — is built on these primitives.
@@ -182,6 +186,8 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
         sim.schedule(0, self._resume, None, None)
+        if sim.hooks is not None:
+            sim.hooks.on_process_start(sim.now, self)
 
     @property
     def alive(self) -> bool:
@@ -196,15 +202,22 @@ class Process(Event):
                 target = self._gen.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            self._notify_end()
             return
         except BaseException as error:  # noqa: BLE001 - propagate via event
             self.fail(error)
+            self._notify_end()
             return
         try:
             self._wait_on(target)
         except ProcessError as error:
             self._gen.close()
             self.fail(error)
+            self._notify_end()
+
+    def _notify_end(self) -> None:
+        if self.sim.hooks is not None:
+            self.sim.hooks.on_process_end(self.sim.now, self)
 
     def _wait_on(self, target: Any) -> None:
         if isinstance(target, int):
@@ -229,11 +242,32 @@ class Process(Event):
 class Simulator:
     """The event loop: a clock plus a heap of scheduled callbacks."""
 
-    def __init__(self) -> None:
+    def __init__(self, hooks: Optional[Any] = None) -> None:
         self._now = 0
         self._queue: List[ScheduledCall] = []
         self._seq = itertools.count()
         self._events_executed = 0
+        #: Observability hooks (repro.obs.hooks.SimHooks) or None.
+        #: Read directly by the CPU model; install via set_hooks().
+        self.hooks = None
+        if hooks is not None:
+            self.set_hooks(hooks)
+
+    def set_hooks(self, hooks: Optional[Any]) -> None:
+        """Install observability hooks (``None`` disables them).
+
+        A :class:`repro.obs.hooks.NoopHooks` instance is normalized to
+        ``None`` so the "explicitly unobserved" configuration keeps the
+        zero-overhead unhooked fast path.
+        """
+        from repro.obs.hooks import NoopHooks, SimHooks
+
+        if hooks is not None and not isinstance(hooks, SimHooks):
+            raise SchedulingError(
+                f"hooks must be a SimHooks, got {type(hooks).__name__}")
+        if isinstance(hooks, NoopHooks):
+            hooks = None
+        self.hooks = hooks
 
     @property
     def now(self) -> int:
@@ -259,6 +293,8 @@ class Simulator:
             raise SchedulingError(f"negative delay: {delay_ns}")
         call = ScheduledCall(self._now + int(delay_ns), next(self._seq), fn, args)
         heapq.heappush(self._queue, call)
+        if self.hooks is not None:
+            self.hooks.on_schedule(self._now, call)
         return call
 
     def event(self, name: str = "") -> Event:
@@ -349,6 +385,8 @@ class Simulator:
                 raise SchedulingError("event queue went backwards in time")
             self._now = call.time
             self._events_executed += 1
+            if self.hooks is not None:
+                self.hooks.on_dispatch(self._now, call)
             call.fn(*call.args)
             return True
         return False

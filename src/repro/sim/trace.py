@@ -8,16 +8,29 @@ reads, and the tracer aggregates them per iteration and overall.
 
 Span names used by the stack mirror the paper's tables:
 
-* transmit side: ``tx.user``, ``tx.tcp.checksum``, ``tx.tcp.mcopy``,
-  ``tx.tcp.segment``, ``tx.ip``, ``tx.atm`` (or ``tx.ether``)
-* receive side: ``rx.atm``/``rx.ether``, ``rx.ipq``, ``rx.ip``,
-  ``rx.tcp.checksum``, ``rx.tcp.segment``, ``rx.wakeup``, ``rx.user``
+* transmit side (Table 2): ``tx.user``, ``tx.tcp.checksum``,
+  ``tx.tcp.mcopy``, ``tx.tcp.segment``, ``tx.ip``, ``tx.atm`` (or
+  ``tx.ether``)
+* receive side (Table 3): ``rx.atm``/``rx.ether``, ``rx.ipq``,
+  ``rx.ip``, ``rx.tcp.checksum``, ``rx.tcp.segment``, ``rx.wakeup``,
+  ``rx.user``
+
+(ACK-path twins carry an ``.ack`` component: ``tx.ack.ip`` etc.)
+
+The tracer is one producer of the unified observability pipeline
+(:mod:`repro.obs`): when a :class:`~repro.obs.observer.Observer` is
+attached it installs itself as :attr:`SpanTracer.sink` and every
+recorded span is additionally streamed as a trace event, so the same
+clock reads that build Tables 2/3 also render as timeline slices in
+``chrome://tracing``/Perfetto.  :meth:`SpanTracer.snapshot` and
+:meth:`SpanTracer.merge` support warmup-reset bookkeeping and multi-run
+aggregation without losing data.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.sim.clock import ClockCard
 
@@ -25,7 +38,11 @@ __all__ = ["SpanTracer", "SpanStats"]
 
 
 class SpanStats:
-    """Aggregate of one span name: count, total and mean microseconds."""
+    """Aggregate of one span name: count, total and mean microseconds.
+
+    ``min_us``/``max_us`` report ``0.0`` until the first recording (not
+    ``inf``), so snapshots serialize to valid JSON.
+    """
 
     __slots__ = ("name", "count", "total_us", "min_us", "max_us")
 
@@ -33,20 +50,44 @@ class SpanStats:
         self.name = name
         self.count = 0
         self.total_us = 0.0
-        self.min_us = float("inf")
+        self.min_us = 0.0
         self.max_us = 0.0
 
     def add(self, duration_us: float) -> None:
-        self.count += 1
-        self.total_us += duration_us
-        if duration_us < self.min_us:
+        if self.count == 0 or duration_us < self.min_us:
             self.min_us = duration_us
         if duration_us > self.max_us:
             self.max_us = duration_us
+        self.count += 1
+        self.total_us += duration_us
 
     @property
     def mean_us(self) -> float:
         return self.total_us / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """A JSON-serializable snapshot of this span's aggregate."""
+        return {"count": self.count, "total_us": self.total_us,
+                "mean_us": self.mean_us, "min_us": self.min_us,
+                "max_us": self.max_us}
+
+    def merge(self, other: Union["SpanStats", Mapping]) -> None:
+        """Fold another aggregate (stats or snapshot dict) into this."""
+        if isinstance(other, SpanStats):
+            count, total = other.count, other.total_us
+            omin, omax = other.min_us, other.max_us
+        else:
+            count, total = other["count"], other["total_us"]
+            omin, omax = other["min_us"], other["max_us"]
+        if count == 0:
+            return
+        if self.count == 0:
+            self.min_us, self.max_us = omin, omax
+        else:
+            self.min_us = min(self.min_us, omin)
+            self.max_us = max(self.max_us, omax)
+        self.count += count
+        self.total_us += total
 
     def __repr__(self) -> str:
         return (f"<SpanStats {self.name} n={self.count} "
@@ -60,6 +101,13 @@ class SpanTracer:
     :class:`ClockCard`, so results carry the same 40 ns quantization the
     paper's numbers do.  ``begin``/``end`` use a token so overlapping
     spans of the same name (e.g. two in-flight segments) don't collide.
+
+    When :attr:`sink` is set (by an attached observer), every recorded
+    span is also forwarded as ``sink(name, duration_us, end_us)`` with
+    *end_us* the simulated completion time, so exporters can place the
+    span on an absolute timeline.  The sink survives :meth:`reset` —
+    warmup spans stream to the pipeline even though the aggregate is
+    cleared for steady-state measurement.
     """
 
     def __init__(self, clock: ClockCard, enabled: bool = True):
@@ -68,6 +116,8 @@ class SpanTracer:
         self._stats: Dict[str, SpanStats] = {}
         self._raw: Dict[str, List[float]] = defaultdict(list)
         self.keep_raw = False
+        #: Observability pipeline tap: ``sink(name, duration_us, end_us)``.
+        self.sink: Optional[Callable[[str, float, float], None]] = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -83,8 +133,14 @@ class SpanTracer:
         self.record_value(name, duration)
         return duration
 
-    def record_value(self, name: str, duration_us: float) -> None:
-        """Record an externally computed duration under *name*."""
+    def record_value(self, name: str, duration_us: float,
+                     end_us: Optional[float] = None) -> None:
+        """Record an externally computed duration under *name*.
+
+        *end_us* is the span's completion time in simulated
+        microseconds; it defaults to "now" (which is correct for every
+        in-stack call site) and is only consumed by the pipeline sink.
+        """
         if not self.enabled:
             return
         stats = self._stats.get(name)
@@ -93,11 +149,17 @@ class SpanTracer:
         stats.add(duration_us)
         if self.keep_raw:
             self._raw[name].append(duration_us)
+        if self.sink is not None:
+            if end_us is None:
+                end_us = self.clock.sim.now / 1000.0
+            self.sink(name, duration_us, end_us)
 
     def record_between(self, name: str, start_ticks: int,
                        end_ticks: int) -> None:
         """Record a span from two raw tick readings."""
-        self.record_value(name, self.clock.delta_us(start_ticks, end_ticks))
+        self.record_value(
+            name, self.clock.delta_us(start_ticks, end_ticks),
+            end_us=end_ticks * self.clock.period_ns / 1000.0)
 
     # ------------------------------------------------------------------
     # Query
@@ -129,7 +191,36 @@ class SpanTracer:
         """Mapping of every span name to its mean in microseconds."""
         return {name: s.mean_us for name, s in self._stats.items()}
 
+    # ------------------------------------------------------------------
+    # Snapshot / merge (multi-run aggregation, warmup bookkeeping)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """All current aggregates as plain JSON-serializable dicts."""
+        return {name: s.as_dict() for name, s in self._stats.items()}
+
+    def merge(self, other: Union["SpanTracer", Mapping[str, Mapping]]
+              ) -> None:
+        """Fold another tracer (or a :meth:`snapshot`) into this one.
+
+        Used to re-combine warmup data captured before a
+        :meth:`reset`, and to aggregate several runs into one exportable
+        span table.
+        """
+        if isinstance(other, SpanTracer):
+            items = other._stats.items()
+        else:
+            items = other.items()
+        for name, stats in items:
+            mine = self._stats.get(name)
+            if mine is None:
+                mine = self._stats[name] = SpanStats(name)
+            mine.merge(stats)
+
     def reset(self) -> None:
-        """Forget all recorded spans (e.g. after a warmup phase)."""
+        """Forget all recorded spans (e.g. after a warmup phase).
+
+        Call :meth:`snapshot` first if the data should survive; the
+        pipeline :attr:`sink`, if any, is left installed.
+        """
         self._stats.clear()
         self._raw.clear()

@@ -363,8 +363,14 @@ class TCPConnection:
             self.stats.bytes_sent += length
         else:
             self.stats.pure_acks_sent += 1
-        if seq_lt(self.snd_nxt, self.snd_max):
+        is_retransmit = seq_lt(self.snd_nxt, self.snd_max)
+        if is_retransmit:
             self.stats.retransmits += 1
+        metrics = self.host.metrics
+        if metrics is not None:
+            metrics.inc("tcp.segs_out")
+            if is_retransmit:
+                metrics.inc("tcp.retransmits")
 
         advance = length + (1 if fin else 0)
         is_new_data = not seq_lt(self.snd_nxt, self.snd_max)
@@ -432,6 +438,8 @@ class TCPConnection:
         self.stats.segs_sent += 1
         if not flags & TCPFlags.SYN:
             self.stats.pure_acks_sent += 1
+        if self.host.metrics is not None:
+            self.host.metrics.inc("tcp.segs_out")
         yield from self.host.ip.output(packet, priority, data_bearing=False)
 
     # ------------------------------------------------------------------
@@ -445,7 +453,14 @@ class TCPConnection:
         if payload:
             self.stats.data_segs_received += 1
 
-        if self._try_fast_path(tcp_hdr, payload):
+        fast = self._try_fast_path(tcp_hdr, payload)
+        metrics = self.host.metrics
+        if metrics is not None and self.state is TCPState.ESTABLISHED:
+            # Header-prediction outcome (only meaningful once
+            # established, where the fast path is even possible).
+            metrics.inc("tcp.predict.hit" if fast
+                        else "tcp.predict.miss")
+        if fast:
             yield from self._fast_path(tcp_hdr, payload, priority)
             return
         yield from self._slow_path(packet, tcp_hdr, payload, priority)

@@ -101,6 +101,8 @@ class TCPLayer:
               priority: int = Priority.SOFT_INTR) -> Generator:
         """tcp_input entry: demux, checksum, dispatch."""
         self.stats.segs_received += 1
+        if self.host.metrics is not None:
+            self.host.metrics.inc("tcp.segs_in")
         if self.host.packet_log is not None:
             self.host.packet_log.record(self.host.name, "rx", packet,
                                         self.host.sim.now / 1000.0)
@@ -112,6 +114,8 @@ class TCPLayer:
             # Corrupted beyond parsing (possible under fault injection
             # with the checksum eliminated): drop.
             self.stats.cksum_errors += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("tcp.cksum_errors")
             return
 
         pcb, lookup_cost, _cache_hit = self.pcbs.lookup(
@@ -131,12 +135,16 @@ class TCPLayer:
             self.stats.cksum_errors += 1
             if conn is not None:
                 conn.stats.cksum_errors += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("tcp.cksum_errors")
             return  # silently dropped; the retransmission timer recovers
 
         if pcb is None or (not pcb.is_listener and pcb.connection is None):
             # No one listening: answer with RST (connection refused),
             # unless the offender is itself an RST.
             self.stats.no_pcb_drops += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("tcp.no_pcb_drops")
             if not tcp_hdr.flags & TCPFlags.RST:
                 yield from self._send_rst(ip_hdr, tcp_hdr, len(payload),
                                           priority)
