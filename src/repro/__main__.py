@@ -17,6 +17,19 @@ Observability subcommands (see :mod:`repro.obs` and the README's
   same run, but print the plain-text metrics/spans dump.
 * ``python -m repro --list`` — enumerate every runnable section and
   trace target (used by CI).
+
+Static analysis & determinism subcommands (see :mod:`repro.analysis`
+and the README's "Static analysis & determinism checking" section):
+
+* ``python -m repro lint [paths...] [--format text|json]`` — run the
+  AST determinism/layering linter (defaults to the installed repro
+  package); exits 1 on error-severity findings.  ``--rules`` prints
+  the rule catalog.
+* ``python -m repro racecheck [target] [--size N] [--iterations N]
+  [--tiebreaks CSV]`` — re-run a trace target under perturbed
+  same-timestamp event orderings and diff packet logs, RTT samples and
+  conservation counters against the FIFO baseline; exits 1 on any
+  ordering divergence or invariant violation.
 """
 
 from __future__ import annotations
@@ -354,6 +367,85 @@ def list_targets() -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``python -m repro lint [paths...] [--format text|json]``."""
+    import json
+    import os
+
+    from repro.analysis import Severity, lint_paths, rule_catalog
+
+    if "--rules" in args:
+        print(rule_catalog())
+        return 0
+    fmt = "text"
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--format":
+            if i + 1 >= len(args) or args[i + 1] not in ("text", "json"):
+                print("lint: --format needs 'text' or 'json'")
+                return 2
+            fmt = args[i + 1]
+            i += 2
+        elif args[i].startswith("-"):
+            print(f"lint: unknown option {args[i]}")
+            return 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if not paths:
+        import repro
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    findings = lint_paths(paths)
+    if fmt == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        errors = sum(1 for f in findings
+                     if f.severity == Severity.ERROR)
+        print(f"lint: {len(findings)} finding(s), {errors} error(s) "
+              f"in {' '.join(paths)}")
+    return 1 if any(f.severity == Severity.ERROR for f in findings) else 0
+
+
+def cmd_racecheck(args) -> int:
+    """``python -m repro racecheck [target] [--size N] ...``."""
+    from repro.analysis import DEFAULT_PERTURBATIONS, racecheck_round_trip
+
+    tiebreaks = list(DEFAULT_PERTURBATIONS)
+    rest = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--tiebreaks":
+            if i + 1 >= len(args):
+                print("racecheck: --tiebreaks needs a value")
+                return 2
+            tiebreaks = [t.strip() for t in args[i + 1].split(",")
+                         if t.strip()]
+            i += 2
+        else:
+            rest.append(args[i])
+            i += 1
+    try:
+        opts = _parse_obs_args(rest, default_size=1400, default_iters=4)
+    except ValueError as error:
+        print(f"racecheck: {error}")
+        return 2
+    target = opts["target"] or "table1"
+    if target not in TRACE_TARGETS:
+        print(f"unknown racecheck target {target!r}")
+        print(f"available: {' '.join(TRACE_TARGETS)}")
+        return 2
+    network, overrides = TRACE_TARGETS[target]
+    config = KernelConfig(**overrides) if overrides else None
+    report = racecheck_round_trip(
+        target, network=network, config=config, size=opts["size"],
+        iterations=opts["iterations"], perturbations=tiebreaks)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv) -> int:
     args = list(argv[1:])
     if "--list" in args:
@@ -362,18 +454,27 @@ def main(argv) -> int:
         return cmd_trace(args[1:])
     if args and args[0] == "metrics":
         return cmd_metrics(args[1:])
+    if args and args[0] == "lint":
+        return cmd_lint(args[1:])
+    if args and args[0] == "racecheck":
+        return cmd_racecheck(args[1:])
     names = args or list(SECTIONS)
     unknown = [n for n in names if n not in SECTIONS]
     if unknown:
         print(f"unknown section(s): {', '.join(unknown)}")
-        print(f"available: {' '.join(SECTIONS)} trace metrics --list")
+        print(f"available: {' '.join(SECTIONS)} trace metrics lint "
+              f"racecheck --list")
         return 2
     for i, name in enumerate(names):
         if i:
             print()
-        start = time.time()
+        # Elapsed wall time for the regeneration banner only: monotonic
+        # so an NTP step cannot make it negative, and never fed into
+        # the simulation.
+        start = time.monotonic()  # repro: allow(wall-clock)
         SECTIONS[name]()
-        print(f"[{name} regenerated in {time.time() - start:.1f}s]")
+        elapsed = time.monotonic() - start  # repro: allow(wall-clock)
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
     return 0
 
 

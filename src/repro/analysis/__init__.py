@@ -1,0 +1,38 @@
+"""Static analysis and determinism checking for the reproduction.
+
+Two halves (see also the README's "Static analysis & determinism
+checking" section):
+
+* :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — an
+  AST-based determinism/layering linter with a pluggable rule registry
+  and ``# repro: allow(<rule>)`` suppression pragmas (``repro lint``).
+* :mod:`repro.analysis.racecheck` / :mod:`repro.analysis.invariants` —
+  a dynamic race detector that perturbs the event queue's
+  same-timestamp tie-break and diffs observable results, plus cheap
+  runtime invariants surfaced through :class:`repro.obs.hooks.SimHooks`
+  (``repro racecheck``).
+"""
+
+from repro.analysis.findings import Finding, Severity, parse_pragmas
+from repro.analysis.invariants import InvariantHooks, check_ipq_conservation
+from repro.analysis.linter import Linter, lint_paths, rule_catalog
+from repro.analysis.racecheck import (
+    DEFAULT_PERTURBATIONS,
+    Divergence,
+    RaceReport,
+    RunDigest,
+    check_scenario,
+    compare_digests,
+    digest_round_trip,
+    racecheck_round_trip,
+)
+from repro.analysis.rules import RULES, LintContext
+
+__all__ = [
+    "Finding", "Severity", "parse_pragmas",
+    "InvariantHooks", "check_ipq_conservation",
+    "Linter", "lint_paths", "rule_catalog", "RULES", "LintContext",
+    "DEFAULT_PERTURBATIONS", "Divergence", "RaceReport", "RunDigest",
+    "check_scenario", "compare_digests", "digest_round_trip",
+    "racecheck_round_trip",
+]

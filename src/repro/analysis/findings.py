@@ -1,0 +1,96 @@
+"""Structured linter findings and the ``# repro:`` pragma grammar.
+
+A finding pins a rule violation to ``path:line:col``; severities follow
+the usual error/warning split (only errors affect the ``repro lint``
+exit status).  Suppression is per-line::
+
+    start = time.monotonic()  # repro: allow(wall-clock)
+
+or, for statements that do not fit a trailing comment, a comment-only
+line applies to the next source line::
+
+    # repro: allow(magic-cost)
+    AN1_PERIOD_NS = 40
+
+A second directive, ``# repro: module(<dotted name>)``, overrides the
+logical module identity the path-based rules (layering, determinism
+zones) would otherwise derive from the file location; the lint fixture
+corpus under ``tests/lint_fixtures/`` uses it to pose as stack modules.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+__all__ = ["Finding", "Severity", "PragmaIndex", "parse_pragmas"]
+
+
+class Severity:
+    """Finding severities; ERROR is the only exit-status-affecting one."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.rule}] {self.severity}: {self.message}")
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "severity": self.severity,
+                "message": self.message}
+
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(allow|module)\(([^)]*)\)")
+
+
+class PragmaIndex:
+    """Per-file map of suppressed rules and the module-identity override."""
+
+    def __init__(self, allows: Dict[int, Set[str]],
+                 module_override: Optional[str]):
+        self._allows = allows
+        self.module_override = module_override
+
+    def allows(self, line: int, rule: str) -> bool:
+        rules = self._allows.get(line)
+        return rules is not None and (rule in rules or "*" in rules)
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Scan *source* for ``# repro:`` directives.
+
+    ``allow`` on a code line suppresses on that line; on a comment-only
+    line it suppresses on the next line.  ``module`` may appear anywhere
+    (conventionally at the top) and applies to the whole file.
+    """
+    allows: Dict[int, Set[str]] = {}
+    module_override: Optional[str] = None
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        kind, body = match.group(1), match.group(2)
+        if kind == "module":
+            module_override = body.strip()
+            continue
+        rules = {part.strip() for part in body.split(",") if part.strip()}
+        if not rules:
+            continue
+        target = lineno + 1 if text.lstrip().startswith("#") else lineno
+        allows.setdefault(target, set()).update(rules)
+    return PragmaIndex(allows, module_override)

@@ -1,0 +1,111 @@
+"""Drive the rule registry over files and trees: ``repro lint``.
+
+The linter is stdlib-only (``ast`` + ``re``): it must run in the same
+minimal container as the simulator itself, before any third-party
+tooling (ruff/mypy run in CI as a complement, not a prerequisite).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, Severity, parse_pragmas
+from repro.analysis.rules import RULES, LintContext, RuleSpec
+
+__all__ = ["Linter", "lint_paths", "module_name_for", "rule_catalog"]
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Derive the dotted module name from a file path.
+
+    Uses the right-most ``repro`` component so both installed trees and
+    the in-repo ``src/repro`` layout resolve; returns None for files
+    outside a ``repro`` package (fixtures override identity with the
+    ``# repro: module(...)`` directive instead).
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = parts[idx:]
+    if dotted[-1].endswith(".py"):
+        dotted[-1] = dotted[-1][:-3]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+class Linter:
+    """Run a set of rules (default: all registered) over sources."""
+
+    def __init__(self, rules: Optional[Dict[str, RuleSpec]] = None):
+        self.rules = dict(rules if rules is not None else RULES)
+
+    # ------------------------------------------------------------------
+    def lint_source(self, source: str, path: str,
+                    module: Optional[str] = "__derive__") -> List[Finding]:
+        """Lint one source string; *module* None disables zone rules,
+        the default derives it from *path* (or the in-file override)."""
+        pragmas = parse_pragmas(source)
+        if pragmas.module_override is not None:
+            module = pragmas.module_override
+        elif module == "__derive__":
+            module = module_name_for(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [Finding(path=path, line=error.lineno or 1,
+                            col=(error.offset or 0) + 1,
+                            rule="syntax", severity=Severity.ERROR,
+                            message=f"could not parse: {error.msg}")]
+        ctx = LintContext(path, source, tree, module)
+        findings: List[Finding] = []
+        for spec in self.rules.values():
+            if not spec.applies(ctx):
+                continue
+            for finding in spec.check(ctx):
+                if pragmas.allows(finding.line, finding.rule):
+                    continue
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def lint_file(self, path: str) -> List[Finding]:
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.lint_source(handle.read(), path)
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in paths:
+            for file_path in sorted(_python_files(path)):
+                findings.extend(self.lint_file(file_path))
+        return findings
+
+
+def _python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Module-level convenience mirroring :meth:`Linter.lint_paths`."""
+    return Linter().lint_paths(paths)
+
+
+def rule_catalog() -> str:
+    """Human-readable rule listing for ``repro lint --rules``."""
+    lines = []
+    for rule_id in sorted(RULES):
+        spec = RULES[rule_id]
+        lines.append(f"{rule_id} [{spec.severity}, zone={spec.zone}]")
+        lines.append(f"    {spec.doc}")
+    return "\n".join(lines)

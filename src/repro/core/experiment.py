@@ -158,21 +158,26 @@ def run_round_trip(size: int, network: str = "atm",
                    config: Optional[KernelConfig] = None,
                    costs: Optional[MachineCosts] = None,
                    iterations: int = 12, warmup: int = 3,
-                   observer=None) -> RoundTripResult:
+                   observer=None,
+                   tiebreak: Optional[str] = None) -> RoundTripResult:
     """Build a fresh testbed and run one benchmark point.
 
     Pass *observer* (a :class:`repro.obs.Observer`) to capture the
     run's full observability stream — CPU-context timeline, metrics,
     spans, packets; final host state is folded in via
     ``observer.collect`` before returning.  Timing results are
-    unaffected: hooks never mutate simulator state.
+    unaffected: hooks never mutate simulator state.  *tiebreak*
+    perturbs same-timestamp event ordering for race detection
+    (:mod:`repro.analysis.racecheck`); leave it None for the
+    seed-identical FIFO order.
     """
     if network == "atm":
         testbed = build_atm_pair(config=config, costs=costs,
-                                 observer=observer)
+                                 observer=observer, tiebreak=tiebreak)
     elif network == "ethernet":
         testbed = build_ethernet_pair(config=config, costs=costs,
-                                      observer=observer)
+                                      observer=observer,
+                                      tiebreak=tiebreak)
     else:
         raise ValueError(f"unknown network {network!r}")
     bench = RoundTripBenchmark(testbed, size, iterations=iterations,

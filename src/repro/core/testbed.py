@@ -40,8 +40,9 @@ class Testbed:
 
 
 def _make_pair(config: Optional[KernelConfig],
-               costs: Optional[MachineCosts]):
-    sim = Simulator()
+               costs: Optional[MachineCosts],
+               tiebreak: Optional[str] = None):
+    sim = Simulator(tiebreak=tiebreak)
     client = Host(sim, "client", "10.0.0.1", costs=costs, config=config)
     server = Host(sim, "server", "10.0.0.2", costs=costs, config=config)
     return sim, client, server
@@ -51,15 +52,18 @@ def build_atm_pair(config: Optional[KernelConfig] = None,
                    costs: Optional[MachineCosts] = None,
                    bandwidth_bps: int = 140_000_000,
                    prop_delay_ns: int = 500,
-                   observer=None) -> Testbed:
+                   observer=None,
+                   tiebreak: Optional[str] = None) -> Testbed:
     """Two workstations with FORE TCA-100s on a private fiber.
 
     With *observer* (a :class:`repro.obs.Observer`), the full
     observability pipeline — kernel hooks, metrics, span/packet sinks —
     is wired in before anything runs; without it the testbed is
-    unobserved and byte-identical to the seed.
+    unobserved and byte-identical to the seed.  *tiebreak* perturbs the
+    simulator's same-timestamp event ordering (race detection only; see
+    :mod:`repro.analysis.racecheck`).
     """
-    sim, client, server = _make_pair(config, costs)
+    sim, client, server = _make_pair(config, costs, tiebreak)
     link = AtmLink(sim, bandwidth_bps=bandwidth_bps,
                    prop_delay_ns=prop_delay_ns)
     link.attach(ForeTca100(client))
@@ -74,12 +78,13 @@ def build_ethernet_pair(config: Optional[KernelConfig] = None,
                         costs: Optional[MachineCosts] = None,
                         bandwidth_bps: int = 10_000_000,
                         prop_delay_ns: int = 1000,
-                        observer=None) -> Testbed:
+                        observer=None,
+                        tiebreak: Optional[str] = None) -> Testbed:
     """Two workstations on a private 10 Mb/s Ethernet.
 
-    *observer* works as in :func:`build_atm_pair`.
+    *observer* and *tiebreak* work as in :func:`build_atm_pair`.
     """
-    sim, client, server = _make_pair(config, costs)
+    sim, client, server = _make_pair(config, costs, tiebreak)
     link = EthernetLink(sim, bandwidth_bps=bandwidth_bps,
                         prop_delay_ns=prop_delay_ns)
     link.attach(LanceEthernet(client))

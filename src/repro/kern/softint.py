@@ -43,6 +43,11 @@ class SoftNet:
         self.splnet = None
         self._queue: Deque[Packet] = deque()
         self._pending = False
+        #: Datagrams accepted onto the queue; with `dispatched`,
+        #: `dropped_full` and `queue_length` this makes the IPQ
+        #: conservation invariant checkable
+        #: (repro.analysis.invariants.check_ipq_conservation).
+        self.enqueued = 0
         self.dispatched = 0
         self.dropped_full = 0
         #: Observability scope (repro.obs), installed by Observer.attach.
@@ -66,6 +71,7 @@ class SoftNet:
             return
         packet.enqueued_ipq_at = self.sim.now
         self._queue.append(packet)
+        self.enqueued += 1
         if self.metrics is not None:
             self.metrics.inc("ipq.enqueued")
             self.metrics.set_max("ipq.depth_max", len(self._queue))

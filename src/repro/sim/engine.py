@@ -40,10 +40,47 @@ __all__ = [
     "NS_PER_US",
     "us",
     "to_us",
+    "tiebreak_keyfn",
 ]
 
 #: Nanoseconds per microsecond; the paper reports everything in µs.
 NS_PER_US = 1000
+
+
+def _mix64(seed: int, seq: int) -> int:
+    """splitmix64-style integer hash: a deterministic pseudo-random
+    permutation of *seq* parameterized by *seed* (no `random` module, so
+    the shuffle itself cannot perturb global RNG state)."""
+    z = (seed * 0x9E3779B97F4A7C15 + seq * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def tiebreak_keyfn(policy: Optional[str]) -> Optional[Callable[[int], int]]:
+    """Resolve a tie-break *policy* to a sequence->sort-key function.
+
+    ``None``/``"fifo"`` return ``None``: the caller should use the raw
+    sequence number (insertion order), which is the seed-identical fast
+    path.  ``"lifo"`` reverses insertion order among equal-time events;
+    ``"shuffle:<seed>"`` applies a seeded deterministic permutation.
+    These perturbed orderings are the substrate of the race detector
+    (:mod:`repro.analysis.racecheck`): a model whose results change
+    under them depends on same-timestamp event ordering.
+    """
+    if policy is None or policy == "fifo":
+        return None
+    if policy == "lifo":
+        return lambda seq: -seq
+    if isinstance(policy, str) and policy.startswith("shuffle:"):
+        try:
+            seed = int(policy.split(":", 1)[1], 0)
+        except ValueError:
+            raise SchedulingError(f"bad shuffle seed in {policy!r}")
+        return lambda seq: _mix64(seed, seq)
+    raise SchedulingError(
+        f"unknown tie-break policy {policy!r} "
+        "(expected 'fifo', 'lifo' or 'shuffle:<seed>')")
 
 
 def us(value: float) -> int:
@@ -64,11 +101,18 @@ class ScheduledCall:
     model revokes a completion event when a job is preempted.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "key", "fn", "args", "cancelled")
 
-    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable, args: tuple,
+                 key: Optional[int] = None):
         self.time = time
         self.seq = seq
+        #: Same-timestamp sort key.  Equal to *seq* (insertion order)
+        #: under the default FIFO tie-break; a perturbed tie-break
+        #: policy (see :func:`tiebreak_keyfn`) substitutes another
+        #: deterministic key so the race detector can reorder
+        #: logically-concurrent events.
+        self.key = seq if key is None else key
         self.fn = fn
         self.args = args
         self.cancelled = False
@@ -81,7 +125,7 @@ class ScheduledCall:
         self.args = ()
 
     def __lt__(self, other: "ScheduledCall") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.key) < (other.time, other.key)
 
 
 def _noop(*_args: Any) -> None:
@@ -242,14 +286,20 @@ class Process(Event):
 class Simulator:
     """The event loop: a clock plus a heap of scheduled callbacks."""
 
-    def __init__(self, hooks: Optional[Any] = None) -> None:
+    def __init__(self, hooks: Optional[Any] = None,
+                 tiebreak: Optional[str] = None) -> None:
         self._now = 0
         self._queue: List[ScheduledCall] = []
         self._seq = itertools.count()
         self._events_executed = 0
         #: Observability hooks (repro.obs.hooks.SimHooks) or None.
         #: Read directly by the CPU model; install via set_hooks().
-        self.hooks = None
+        self.hooks: Optional[Any] = None
+        #: Same-timestamp tie-break policy ('fifo' when None); see
+        #: :func:`tiebreak_keyfn`.  Only the race detector passes a
+        #: non-default value.
+        self.tiebreak = tiebreak or "fifo"
+        self._keyfn = tiebreak_keyfn(tiebreak)
         if hooks is not None:
             self.set_hooks(hooks)
 
@@ -291,7 +341,9 @@ class Simulator:
         """Run ``fn(*args)`` after *delay_ns* nanoseconds."""
         if delay_ns < 0:
             raise SchedulingError(f"negative delay: {delay_ns}")
-        call = ScheduledCall(self._now + int(delay_ns), next(self._seq), fn, args)
+        seq = next(self._seq)
+        key = seq if self._keyfn is None else self._keyfn(seq)
+        call = ScheduledCall(self._now + int(delay_ns), seq, fn, args, key)
         heapq.heappush(self._queue, call)
         if self.hooks is not None:
             self.hooks.on_schedule(self._now, call)

@@ -1,0 +1,16 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: float arithmetic on integer-nanosecond timestamps."""
+from repro.sim.engine import us
+
+
+def bad_timers(sim, fn, rtt_ns):
+    sim.schedule(1.5, fn)
+    sim.schedule(rtt_ns / 2, fn)
+    sim.timeout(rtt_ns * 0.5)
+
+
+def good_timers(sim, fn, rtt_ns, rtt_us):
+    sim.schedule(us(1.5), fn)
+    sim.schedule(int(rtt_ns / 2), fn)
+    sim.schedule(rtt_ns // 2, fn)
+    sim.timeout(round(rtt_us * 1000))

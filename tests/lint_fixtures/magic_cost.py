@@ -1,0 +1,15 @@
+# repro: module(repro.ip.fake)
+"""Fixture: calibration constants hiding outside repro.hw.costs."""
+
+SPIN_COST_US = 12
+HEADER_PARSE_NS = 410.0
+
+NS_PER_US = 1000  # unit conversion: exempt
+
+# repro: allow(magic-cost)
+SLOT_TIME_NS = 51200
+
+
+class Layer:
+    LOOKUP_CYCLES = 24
+    MAX_FRAGMENTS = 64  # structural, not a cost: fine

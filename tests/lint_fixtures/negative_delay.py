@@ -1,0 +1,9 @@
+"""Fixture: literal negative schedule() delay (zone: all files)."""
+
+
+def bad_backdate(sim, fn):
+    sim.schedule(-5, fn)
+
+
+def good_delay(sim, fn, skew):
+    sim.schedule(max(0, skew), fn)

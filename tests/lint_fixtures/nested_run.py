@@ -1,0 +1,12 @@
+# repro: module(repro.atm.fake)
+"""Fixture: re-entering the event loop from stack code."""
+
+
+class Adapter:
+    def bad_drain(self):
+        self.sim.run()
+        self.host.sim.run_until_triggered(self.done)
+        self.sim.step()
+
+    def good_drain(self, cost_ns, priority):
+        yield self.cpu.run(cost_ns, priority, "drain")

@@ -1,0 +1,21 @@
+# repro: module(repro.sim.fake)
+"""Fixture: observability calls outside the zero-overhead guard."""
+
+
+class Engine:
+    def bad_sites(self, call, depth):
+        self.hooks.on_dispatch(self.now, call)
+        self.metrics.inc("events")
+        metrics = self.host.metrics
+        metrics.observe("depth", depth)
+
+    def good_sites(self, call, depth):
+        if self.hooks is not None:
+            self.hooks.on_dispatch(self.now, call)
+        if self.metrics is not None:
+            self.metrics.inc("events")
+            if depth:
+                self.metrics.set_max("depth_max", depth)
+        metrics = self.host.metrics
+        if metrics is not None and depth > 0:
+            metrics.observe("depth", depth)

@@ -1,0 +1,18 @@
+# repro: module(repro.kern.fake)
+"""Fixture: set/dict iteration feeding the event queue."""
+
+
+def bad_broadcast(sim, peers, handlers):
+    for peer in {p for p in peers}:
+        sim.schedule(10, peer.deliver)
+    for name in handlers.keys():
+        sim.schedule(0, handlers[name])
+    for peer in set(peers):
+        sim.process(peer.run())
+
+
+def good_broadcast(sim, peers, handlers):
+    for peer in sorted(set(peers)):
+        sim.schedule(10, peer.deliver)
+    for name in handlers.keys():
+        name.upper()  # no scheduling in the body: fine

@@ -1,0 +1,17 @@
+# repro: module(repro.kern.fake)
+"""Fixture: unseeded randomness inside the deterministic zone."""
+import os
+import random
+
+
+def bad_jitter():
+    a = random.random()
+    b = random.randint(0, 10)
+    rng = random.Random()
+    c = os.urandom(4)
+    return a, b, rng, c
+
+
+def good_jitter(seed):
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,17 @@
+"""Fixture: wall-clock reads (zone: all files)."""
+import time
+from time import monotonic as mono
+
+
+def bad_elapsed():
+    start = time.time()
+    t1 = time.perf_counter()
+    t2 = mono()
+    return start, t1, t2
+
+
+def allowed_elapsed():
+    start = time.monotonic()  # repro: allow(wall-clock)
+    # repro: allow(wall-clock)
+    end = time.monotonic()
+    return end - start
