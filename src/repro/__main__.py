@@ -30,6 +30,18 @@ and the README's "Static analysis & determinism checking" section):
   same-timestamp event orderings and diff packet logs, RTT samples and
   conservation counters against the FIFO baseline; exits 1 on any
   ordering divergence or invariant violation.
+
+Performance (see :mod:`repro.perf` and the README's "Performance"
+section):
+
+* ``--parallel N`` / ``--no-cache`` — global flags accepted by every
+  table command: fan independent sweep cells out over N worker
+  processes, and/or bypass the on-disk result cache.  Results are
+  byte-identical either way; only wall time changes.
+* ``python -m repro bench [--label L] [--quick] [--strict]
+  [--baseline FILE] [--tolerance PCT]`` — run the wall-time regression
+  harness, write ``BENCH_<label>.json`` and compare against the
+  committed ``benchmarks/baseline.json``.
 """
 
 from __future__ import annotations
@@ -48,14 +60,21 @@ from repro.core.microbench import (
 )
 from repro.core.report import ascii_chart, format_table, pct_change
 from repro.kern.config import ChecksumMode, KernelConfig
+from repro.perf.runner import SweepOptions
+from repro.perf.runner import run_sweep as _perf_run_sweep
 
 ITER, WARM = 6, 2
 
+#: Sweep execution knobs, set from the global ``--parallel`` /
+#: ``--no-cache`` flags in :func:`main` before any section runs.
+SWEEP_OPTIONS = SweepOptions()
+
 
 def _sweep(network="atm", config=None):
-    return {s: run_round_trip(size=s, network=network, config=config,
-                              iterations=ITER, warmup=WARM).mean_rtt_us
-            for s in PAPER_SIZES}
+    results = _perf_run_sweep(network=network, config=config,
+                              iterations=ITER, warmup=WARM,
+                              options=SWEEP_OPTIONS)
+    return {s: r.mean_rtt_us for s, r in results.items()}
 
 
 def table1() -> None:
@@ -72,7 +91,8 @@ def table1() -> None:
 
 
 def table2() -> None:
-    tx, _ = measure_breakdowns(iterations=ITER, warmup=WARM)
+    tx, _ = measure_breakdowns(iterations=ITER, warmup=WARM,
+                               options=SWEEP_OPTIONS)
     rows = []
     for t in tx:
         paper = dict(zip(paperdata.TABLE2_ROWS,
@@ -86,7 +106,8 @@ def table2() -> None:
 
 
 def table3() -> None:
-    _, rx = measure_breakdowns(iterations=ITER, warmup=WARM)
+    _, rx = measure_breakdowns(iterations=ITER, warmup=WARM,
+                               options=SWEEP_OPTIONS)
     rows = []
     for r in rx:
         paper = dict(zip(paperdata.TABLE3_ROWS,
@@ -446,8 +467,97 @@ def cmd_racecheck(args) -> int:
     return 0 if report.ok else 1
 
 
+def _default_baseline_path():
+    """``benchmarks/baseline.json`` from the cwd or the repo checkout."""
+    import os
+    candidate = os.path.join("benchmarks", "baseline.json")
+    if os.path.exists(candidate):
+        return candidate
+    import repro
+    pkg_root = os.path.dirname(os.path.abspath(repro.__file__))
+    candidate = os.path.join(os.path.dirname(os.path.dirname(pkg_root)),
+                             "benchmarks", "baseline.json")
+    return candidate if os.path.exists(candidate) else None
+
+
+def cmd_bench(args) -> int:
+    """``python -m repro bench [--label L] [--quick] [--strict] ...``."""
+    from repro.perf.bench import (
+        DEFAULT_TOLERANCE_PCT,
+        format_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    label, out, baseline = "local", None, None
+    tolerance = DEFAULT_TOLERANCE_PCT
+    quick = strict = False
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("--label", "--out", "--baseline", "--tolerance"):
+            if i + 1 >= len(args):
+                print(f"bench: {arg} needs a value")
+                return 2
+            value = args[i + 1]
+            if arg == "--label":
+                label = value
+            elif arg == "--out":
+                out = value
+            elif arg == "--baseline":
+                baseline = value
+            else:
+                tolerance = float(value)
+            i += 2
+        elif arg == "--quick":
+            quick = True
+            i += 1
+        elif arg == "--strict":
+            strict = True
+            i += 1
+        else:
+            print(f"bench: unknown argument {arg}")
+            return 2
+    if baseline is None:
+        baseline = _default_baseline_path()
+    metrics = run_benchmarks(quick=quick)
+    doc = write_report(metrics, label, out_path=out,
+                       baseline_path=baseline, tolerance_pct=tolerance)
+    print(format_report(doc))
+    comparison = doc.get("comparison")
+    regressed = bool(comparison) and any(
+        row["regressed"] for row in comparison["rows"])
+    return 1 if (strict and regressed) else 0
+
+
+def _extract_sweep_flags(args):
+    """Strip global ``--parallel N`` / ``--no-cache`` out of *args*."""
+    rest = []
+    parallel, use_cache = 0, True
+    i = 0
+    while i < len(args):
+        if args[i] == "--parallel":
+            if i + 1 >= len(args):
+                raise ValueError("--parallel needs a worker count")
+            parallel = int(args[i + 1])
+            i += 2
+        elif args[i] == "--no-cache":
+            use_cache = False
+            i += 1
+        else:
+            rest.append(args[i])
+            i += 1
+    return rest, parallel, use_cache
+
+
 def main(argv) -> int:
-    args = list(argv[1:])
+    try:
+        args, parallel, use_cache = _extract_sweep_flags(list(argv[1:]))
+    except ValueError as error:
+        print(f"repro: {error}")
+        return 2
+    SWEEP_OPTIONS.parallel = parallel
+    SWEEP_OPTIONS.use_cache = use_cache
     if "--list" in args:
         return list_targets()
     if args and args[0] == "trace":
@@ -458,12 +568,15 @@ def main(argv) -> int:
         return cmd_lint(args[1:])
     if args and args[0] == "racecheck":
         return cmd_racecheck(args[1:])
+    if args and args[0] == "bench":
+        return cmd_bench(args[1:])
     names = args or list(SECTIONS)
     unknown = [n for n in names if n not in SECTIONS]
     if unknown:
         print(f"unknown section(s): {', '.join(unknown)}")
         print(f"available: {' '.join(SECTIONS)} trace metrics lint "
-              f"racecheck --list")
+              f"racecheck bench --list "
+              f"[--parallel N] [--no-cache]")
         return 2
     for i, name in enumerate(names):
         if i:

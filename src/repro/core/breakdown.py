@@ -100,8 +100,17 @@ def measure_breakdowns(sizes: Optional[List[int]] = None,
                        config: Optional[KernelConfig] = None,
                        costs: Optional[MachineCosts] = None,
                        network: str = "atm",
-                       iterations: int = 8, warmup: int = 2):
-    """Run the benchmark per size and return (tx_rows, rx_rows)."""
+                       iterations: int = 8, warmup: int = 2,
+                       options=None):
+    """Run the benchmark per size and return (tx_rows, rx_rows).
+
+    *options* (a :class:`repro.perf.runner.SweepOptions`) routes the
+    per-size round trips through the cached/parallel sweep runner; the
+    breakdown rows are pure derivations of each cell's span snapshot,
+    so with the CLI's iterations the cells are the very same cache
+    entries Table 1's ATM column produces.  ``costs`` overrides bypass
+    the runner (cost structs aren't part of its cell key).
+    """
     sizes = sizes if sizes is not None else PAPER_SIZES
     tx_rows: List[TransmitBreakdown] = []
     rx_rows: List[ReceiveBreakdown] = []
@@ -110,10 +119,19 @@ def measure_breakdowns(sizes: Optional[List[int]] = None,
     if network == "ethernet":
         tx_spans["atm"] = "tx.ether"
         rx_spans["atm"] = "rx.ether"
+    results = None
+    if options is not None and costs is None:
+        from repro.perf.runner import run_sweep
+        results = run_sweep(network=network, config=config, sizes=sizes,
+                            iterations=iterations, warmup=warmup,
+                            options=options)
     for size in sizes:
-        result = run_round_trip(size=size, network=network, config=config,
-                                costs=costs, iterations=iterations,
-                                warmup=warmup)
+        if results is not None:
+            result = results[size]
+        else:
+            result = run_round_trip(size=size, network=network,
+                                    config=config, costs=costs,
+                                    iterations=iterations, warmup=warmup)
         tx_rows.append(TransmitBreakdown(size=size, **{
             row: result.span_per_transfer("client", span)
             for row, span in tx_spans.items()

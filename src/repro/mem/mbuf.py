@@ -19,6 +19,7 @@ to the exact byte sequence that gets checksummed and put on the wire.
 
 from __future__ import annotations
 
+from sys import getrefcount as _refcount
 from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.sim.engine import us as _us
@@ -193,6 +194,10 @@ class MbufChain:
         return f"<MbufChain {self.mbuf_count} mbufs, {self.length} bytes>"
 
 
+#: Upper bound on recycled Mbuf headers kept per pool.
+_FREE_LIST_MAX = 256
+
+
 class MbufPool:
     """The mbuf allocator, with §2.2.1's cost model and usage statistics.
 
@@ -200,6 +205,16 @@ class MbufPool:
     in nanoseconds and the caller (simulated kernel code) charges that
     time to the CPU.  This keeps the data structures synchronous and
     easily testable.
+
+    Freed mbuf *headers* are recycled on a free list instead of being
+    reallocated — a host-level optimization that cuts Python allocation
+    churn on the socket-buffer hot path (``sbdrop`` after ACKs,
+    ``free_chain`` on received segments).  The *modelled* alloc/free
+    cycle costs are unchanged: the paper's machine never had a free
+    Python object either way.  A header is only recycled when its
+    caller passed in the sole remaining reference, so a stale chain
+    that kept an mbuf can never observe its object being reused and
+    use-after-free detection still fires for retained references.
     """
 
     def __init__(self, costs) -> None:
@@ -208,6 +223,44 @@ class MbufPool:
         self.freed = 0
         self.cluster_allocated = 0
         self.high_water = 0
+        #: Free-list bookkeeping: headers handed back out instead of
+        #: freshly constructed.  Exported as ``mbuf.allocations`` /
+        #: ``mbuf.reuses`` when a metrics scope is attached.
+        self.reused = 0
+        self._free: List[Mbuf] = []
+        #: ScopedMetrics view, installed by Observer.attach_host();
+        #: None (one attribute test per operation) when unobserved.
+        self.metrics = None
+
+    @property
+    def free_list_depth(self) -> int:
+        """Recycled headers currently waiting for reuse (diagnostics)."""
+        return len(self._free)
+
+    def _reuse_or_new(self, data: Buffer,
+                      cluster: Optional[ClusterStorage]) -> Mbuf:
+        free = self._free
+        if free:
+            mbuf = free.pop()
+            if cluster is not None:
+                mbuf._data = None  # noqa: SLF001 - pool owns mbufs
+                mbuf.cluster = cluster
+            else:
+                if len(data) > MBUF_DATA_SIZE:
+                    free.append(mbuf)
+                    raise MbufError(
+                        f"{len(data)} bytes exceed normal mbuf capacity "
+                        f"{MBUF_DATA_SIZE}"
+                    )
+                mbuf._data = bytes(data)  # noqa: SLF001
+                mbuf.cluster = None
+            mbuf.partial_sum = None
+            mbuf.freed = False
+            self.reused += 1
+            if self.metrics is not None:
+                self.metrics.inc("mbuf.reuses")
+            return mbuf
+        return Mbuf(data=data, cluster=cluster)
 
     @property
     def in_use(self) -> int:
@@ -218,32 +271,46 @@ class MbufPool:
     # ------------------------------------------------------------------
     def alloc(self, data: Buffer = b"") -> Tuple[Mbuf, int]:
         """Allocate a normal mbuf holding *data*; returns (mbuf, cost_ns)."""
-        mbuf = Mbuf(data=data)
+        mbuf = self._reuse_or_new(data, None)
         self._count_alloc(cluster=False)
         return mbuf, self.costs.mbuf_alloc_ns()
 
     def alloc_cluster(self, data: Buffer) -> Tuple[Mbuf, int]:
         """Allocate a cluster mbuf holding *data*; returns (mbuf, cost_ns)."""
-        mbuf = Mbuf(cluster=ClusterStorage(bytes(data)))
+        mbuf = self._reuse_or_new(b"", ClusterStorage(bytes(data)))
         self._count_alloc(cluster=True)
         return mbuf, self.costs.mbuf_alloc_ns()
 
     def free(self, mbuf: Mbuf) -> int:
-        """Free one mbuf; returns cost_ns."""
+        """Free one mbuf; returns cost_ns.
+
+        The header is recycled onto the free list only when the caller
+        handed over the *sole* remaining reference (e.g. popped it off
+        a chain first); a header some other chain still points at
+        stays live so its ``freed`` flag keeps use-after-free
+        detection intact.
+        """
         if mbuf.freed:
             raise MbufError("double free")
         mbuf.freed = True
         if mbuf.cluster is not None:
             mbuf.cluster.unref()
         self.freed += 1
+        if _refcount(mbuf) == 2 and len(self._free) < _FREE_LIST_MAX:
+            mbuf._data = b""  # noqa: SLF001 - drop data refs eagerly
+            mbuf.cluster = None
+            mbuf.partial_sum = None
+            self._free.append(mbuf)
         return self.costs.mbuf_free_ns()
 
     def free_chain(self, chain: MbufChain) -> int:
         """Free every mbuf in *chain*; returns total cost_ns."""
         total = 0
-        for m in chain.mbufs:
-            total += self.free(m)
-        chain.mbufs.clear()
+        mbufs = chain.mbufs
+        while mbufs:
+            # Pop before freeing so the header's last reference is the
+            # free() argument and the header is free-list eligible.
+            total += self.free(mbufs.pop())
         return total
 
     def _count_alloc(self, cluster: bool) -> None:
@@ -251,6 +318,8 @@ class MbufPool:
         if cluster:
             self.cluster_allocated += 1
         self.high_water = max(self.high_water, self.in_use)
+        if self.metrics is not None:
+            self.metrics.inc("mbuf.allocations")
 
     # ------------------------------------------------------------------
     # Chain builders (the socket layer's copyin policy)
@@ -358,12 +427,14 @@ class MbufPool:
         cost = 0
         remaining = length
         while remaining > 0 and chain.mbufs:
-            head = chain.mbufs[0]
-            if len(head) <= remaining:
-                remaining -= len(head)
-                chain.mbufs.pop(0)
-                cost += self.free(head)
+            head_len = len(chain.mbufs[0])
+            if head_len <= remaining:
+                remaining -= head_len
+                # Pop inside the call so free() holds the only
+                # reference and can recycle the header.
+                cost += self.free(chain.mbufs.pop(0))
             else:
+                head = chain.mbufs[0]
                 # Trim within the mbuf (no alloc/free).
                 keep = head.data[remaining:]
                 if head.is_cluster:

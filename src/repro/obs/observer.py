@@ -156,6 +156,7 @@ class Observer:
         host.metrics = scoped
         host.softnet.metrics = scoped
         host.scheduler.metrics = scoped
+        host.pool.metrics = scoped
 
         def span_sink(name: str, duration_us: float, end_us: float,
                       _pid: int = pid) -> None:

@@ -1,0 +1,27 @@
+"""Performance tooling: cached+parallel sweeps and the bench harness.
+
+Three legs (none of which alter simulated results — equivalence is
+enforced by ``tests/test_perf_equivalence.py``):
+
+* :mod:`repro.perf.cache` — content-addressed on-disk cache of sweep
+  cells, salted with a hash of the simulation source so any code
+  change invalidates it;
+* :mod:`repro.perf.runner` — deterministic parallel sweep execution
+  over a ``multiprocessing`` spawn pool, shared by the CLI tables and
+  the pytest benchmarks;
+* :mod:`repro.perf.bench` — the ``repro bench`` wall-time regression
+  harness and its committed baseline.
+"""
+
+from repro.perf.cache import ResultCache, cell_fingerprint, code_salt
+from repro.perf.runner import SweepCell, SweepOptions, SweepRunner, run_sweep
+
+__all__ = [
+    "ResultCache",
+    "cell_fingerprint",
+    "code_salt",
+    "SweepCell",
+    "SweepOptions",
+    "SweepRunner",
+    "run_sweep",
+]

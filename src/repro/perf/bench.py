@@ -1,0 +1,281 @@
+"""``repro bench``: the persistent performance regression harness.
+
+Measures the hot layers of the reproduction —
+
+* raw event-loop dispatch (deep and shallow queues),
+* CPU-model job throughput (with preemption traffic),
+* Internet-checksum bandwidth,
+* mbuf chain build/free churn (exercises the free list),
+* full-stack round-trip wall time, and
+* cold serial Table 1 regeneration wall time —
+
+writes ``BENCH_<label>.json`` at the current directory, and compares
+against a committed baseline (``benchmarks/baseline.json``) with a
+tolerance band.  The committed baseline is the repo's perf
+trajectory: update it (``repro bench --label baseline`` and copy the
+metrics into ``benchmarks/baseline.json``) whenever a PR deliberately
+moves the numbers.
+
+Wall-clock reads here are deliberate (this *is* the wall-time
+harness) and never feed back into simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["run_benchmarks", "compare_to_baseline", "write_report",
+           "format_report", "DEFAULT_TOLERANCE_PCT"]
+
+#: Regressions within this band are noise on shared CI runners.
+DEFAULT_TOLERANCE_PCT = 20.0
+
+#: Metric-name suffix -> whether larger values are better.
+_HIGHER_IS_BETTER_SUFFIX = "_per_sec"
+
+
+# ----------------------------------------------------------------------
+# Individual measurements
+# ----------------------------------------------------------------------
+def bench_eventloop_deep(events: int = 200_000, depth: int = 512) -> float:
+    """Events/sec with *depth* timers outstanding (realistic heap)."""
+    sim = Simulator()
+    remaining = [events]
+
+    def cb() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(1_000 + (remaining[0] % 97) * 13, cb)
+
+    for i in range(depth):
+        sim.schedule(i * 7 + 5, cb)
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    sim.run()
+    elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    return (events + depth) / elapsed
+
+
+def bench_eventloop_shallow(events: int = 200_000) -> float:
+    """Events/sec with a single self-rescheduling callback."""
+    sim = Simulator()
+    remaining = [events]
+
+    def cb() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(10, cb)
+
+    sim.schedule(0, cb)
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    sim.run()
+    elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    return events / elapsed
+
+
+def bench_cpu_jobs(jobs: int = 30_000) -> float:
+    """CPU-model jobs/sec: sequential kernel work with periodic
+    hardware-interrupt preemption traffic."""
+    from repro.sim.cpu import CPU, Priority
+
+    def warm():  # untimed: specialize the hot bytecode paths first
+        wsim = Simulator()
+        wcpu = CPU(wsim)
+
+        def wproc():
+            for _ in range(2_000):
+                yield wcpu.run(1_000, Priority.KERNEL, "warm")
+
+        wsim.run_until_triggered(wsim.process(wproc()))
+
+    warm()
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def worker():
+        for _ in range(jobs):
+            yield cpu.run(1_000, Priority.KERNEL, "work")
+
+    def interrupts():
+        # One interrupt per ~8 jobs, arriving mid-job to force the
+        # preempt/resume path the paper's receive side lives on.
+        for _ in range(jobs // 8):
+            yield 8_500
+            yield cpu.run(300, Priority.HARD_INTR, "intr")
+
+    done = sim.process(worker())
+    sim.process(interrupts())
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    sim.run_until_triggered(done)
+    elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    return cpu.jobs_completed / elapsed
+
+
+def bench_checksum(nbytes: int = 8192, rounds: int = 2_000) -> float:
+    """Functional Internet-checksum bandwidth in MB/s."""
+    from repro.checksum.internet import raw_sum
+
+    data = bytes(i & 0xFF for i in range(nbytes))
+    raw_sum(data)  # untimed warmup: triggers the lazy numpy import
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    for _ in range(rounds):
+        raw_sum(data)
+    elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    return nbytes * rounds / elapsed / 1e6
+
+
+def bench_mbuf_churn(rounds: int = 4_000) -> float:
+    """Chain build+free cycles/sec (free-list hot path)."""
+    from repro.hw import decstation_5000_200
+    from repro.mem.mbuf import MbufPool
+
+    pool = MbufPool(decstation_5000_200())
+    data = bytes(500)
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    for _ in range(rounds):
+        chain, _cost = pool.build_chain(data, use_clusters=False)
+        pool.free_chain(chain)
+    elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    return rounds / elapsed
+
+
+def bench_rtt_wall(size: int = 1400, iterations: int = 6,
+                   warmup: int = 2, repeats: int = 5) -> float:
+    """Wall ms for one full-stack round-trip benchmark point (best of
+    *repeats*, so a background hiccup cannot fake a regression)."""
+    from repro.core.experiment import run_round_trip
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()  # repro: allow(wall-clock)
+        run_round_trip(size=size, iterations=iterations, warmup=warmup)
+        elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+        best = min(best, elapsed)
+    return best * 1e3
+
+
+def bench_table1_regen(iterations: int = 6, warmup: int = 2) -> float:
+    """Wall seconds for a cold **serial** Table 1 regeneration (both
+    networks, all eight paper sizes, no cache)."""
+    from repro.perf.runner import SweepOptions, run_sweep
+
+    options = SweepOptions(parallel=0, use_cache=False)
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    run_sweep(network="atm", iterations=iterations, warmup=warmup,
+              options=options)
+    run_sweep(network="ethernet", iterations=iterations, warmup=warmup,
+              options=options)
+    return time.perf_counter() - start  # repro: allow(wall-clock)
+
+
+def run_benchmarks(quick: bool = False) -> Dict[str, float]:
+    """Run the full suite; ``quick`` halves the event-loop workloads
+    and trims repeats for CI.  Workload sizes otherwise stay identical
+    to the full run so throughput numbers remain comparable to a
+    baseline captured without ``--quick``."""
+    scale = 2 if quick else 1
+    return {
+        "eventloop_deep_events_per_sec":
+            bench_eventloop_deep(events=200_000 // scale),
+        "eventloop_shallow_events_per_sec":
+            bench_eventloop_shallow(events=200_000 // scale),
+        "cpu_jobs_per_sec": bench_cpu_jobs(),
+        "checksum_mb_per_sec": bench_checksum(),
+        "mbuf_churn_rounds_per_sec": bench_mbuf_churn(),
+        "rtt_1400_wall_ms": bench_rtt_wall(repeats=5 if not quick else 3),
+        "table1_cold_serial_wall_s": bench_table1_regen(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison + report
+# ----------------------------------------------------------------------
+def compare_to_baseline(metrics: Dict[str, float],
+                        baseline: Dict[str, float],
+                        tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+                        ) -> List[dict]:
+    """Per-metric deltas vs *baseline*; ``regressed`` honors the
+    metric's direction (throughput up = good, wall time down = good)."""
+    rows = []
+    for name, value in metrics.items():
+        old = baseline.get(name)
+        if old is None or old == 0:
+            continue
+        higher_is_better = name.endswith(_HIGHER_IS_BETTER_SUFFIX)
+        change_pct = (value - old) / old * 100.0
+        gain_pct = change_pct if higher_is_better else -change_pct
+        rows.append({
+            "metric": name,
+            "baseline": old,
+            "value": value,
+            "change_pct": round(change_pct, 1),
+            "regressed": gain_pct < -tolerance_pct,
+        })
+    return rows
+
+
+def write_report(metrics: Dict[str, float], label: str,
+                 out_path: Optional[str] = None,
+                 baseline_path: Optional[str] = None,
+                 tolerance_pct: float = DEFAULT_TOLERANCE_PCT) -> dict:
+    """Assemble the report document and write ``BENCH_<label>.json``."""
+    comparison = None
+    if baseline_path and os.path.exists(baseline_path):
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            base_doc = json.load(fh)
+        comparison = {
+            "baseline_path": baseline_path,
+            "baseline_label": base_doc.get("label", "?"),
+            "tolerance_pct": tolerance_pct,
+            "rows": compare_to_baseline(
+                metrics, base_doc.get("metrics", {}), tolerance_pct),
+        }
+    doc = {
+        "label": label,
+        # Report metadata only; never feeds simulated time.
+        "created_unix": int(time.time()),  # repro: allow(wall-clock)
+        "python": sys.version.split()[0],
+        "metrics": {k: round(v, 3) for k, v in metrics.items()},
+        "comparison": comparison,
+    }
+    out_path = out_path or os.path.join(os.getcwd(),
+                                        f"BENCH_{label}.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    doc["out_path"] = out_path
+    return doc
+
+
+def format_report(doc: dict) -> str:
+    """Human-readable dump of a report document."""
+    lines = [f"repro bench [{doc['label']}] python {doc['python']}"]
+    for name, value in sorted(doc["metrics"].items()):
+        lines.append(f"  {name:<34} {value:>14,.1f}")
+    comparison = doc.get("comparison")
+    if comparison:
+        lines.append(f"  vs {comparison['baseline_path']} "
+                     f"(label={comparison['baseline_label']}, "
+                     f"tolerance {comparison['tolerance_pct']:.0f}%):")
+        regressions = 0
+        for row in comparison["rows"]:
+            mark = "  "
+            if row["regressed"]:
+                mark = "!!"
+                regressions += 1
+            lines.append(
+                f"  {mark}{row['metric']:<32} "
+                f"{row['baseline']:>12,.1f} -> {row['value']:>12,.1f} "
+                f"({row['change_pct']:+.1f}%)")
+        if regressions:
+            lines.append(f"  WARNING: {regressions} metric(s) regressed "
+                         f"beyond tolerance")
+        else:
+            lines.append("  OK: within tolerance of baseline")
+    lines.append(f"  report -> {doc.get('out_path', '?')}")
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Content-addressed on-disk cache for sweep results.
+
+The paper reuses its Table 1 ATM column as the baseline of Tables 4, 6
+and 7; the benchmarks reuse it within one pytest session via a
+session-scoped fixture.  This cache extends that reuse across
+*processes and runs*: a cell's :class:`~repro.core.experiment.
+RoundTripResult` is stored under a stable fingerprint of everything
+that determines it —
+
+* the cell configuration (size, network, :class:`~repro.kern.config.
+  KernelConfig`, machine costs, iterations, warmup), canonically
+  JSON-serialized, and
+* a **code-version salt**: a hash over every ``repro`` source file
+  outside :mod:`repro.perf` itself.  Any change to the engine, the
+  stack or the cost model therefore invalidates every cached cell,
+  so a cache hit is always byte-equivalent to recomputing.
+
+The simulator is deterministic, which is what makes this sound: same
+fingerprint → same result, bit for bit (enforced by
+``tests/test_perf_cache_runner.py``).
+
+Cache location: ``$REPRO_CACHE_DIR`` if set, else ``.repro-cache/``
+under the current directory.  Delete the directory (or pass
+``--no-cache``) to force recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.core.experiment import RoundTripResult
+from repro.kern.config import ChecksumMode, KernelConfig, PcbLookup
+
+__all__ = [
+    "code_salt",
+    "config_to_jsonable",
+    "config_from_jsonable",
+    "costs_to_jsonable",
+    "cell_fingerprint",
+    "serialize_result",
+    "deserialize_result",
+    "ResultCache",
+    "default_cache_dir",
+]
+
+_ENUM_FIELDS = {"checksum_mode": ChecksumMode, "pcb_lookup": PcbLookup}
+
+_salt_memo: Optional[str] = None
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the cwd."""
+    return os.environ.get("REPRO_CACHE_DIR") or \
+        os.path.join(os.getcwd(), ".repro-cache")
+
+
+def code_salt() -> str:
+    """Hash of every ``repro`` source file outside ``repro.perf``.
+
+    Computed once per process.  Editing the perf tooling itself keeps
+    the cache warm; editing anything the simulation executes (engine,
+    stack, cost model, experiment driver) invalidates it.
+    """
+    global _salt_memo
+    if _salt_memo is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            if os.path.basename(dirpath) in ("perf", "__pycache__"):
+                dirnames[:] = []
+                continue
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _salt_memo = digest.hexdigest()[:32]
+    return _salt_memo
+
+
+def config_to_jsonable(config: Optional[KernelConfig]) -> Optional[dict]:
+    """A :class:`KernelConfig` as a canonical JSON-able dict."""
+    if config is None:
+        return None
+    out = dataclasses.asdict(config)
+    for key, value in out.items():
+        if isinstance(value, Enum):
+            out[key] = value.value
+    return out
+
+
+def config_from_jsonable(data: Optional[dict]) -> Optional[KernelConfig]:
+    """Inverse of :func:`config_to_jsonable`."""
+    if data is None:
+        return None
+    kwargs = dict(data)
+    for key, enum_cls in _ENUM_FIELDS.items():
+        if key in kwargs and not isinstance(kwargs[key], enum_cls):
+            kwargs[key] = enum_cls(kwargs[key])
+    return KernelConfig(**kwargs)
+
+
+def costs_to_jsonable(costs: Any) -> Optional[dict]:
+    """Machine-cost dataclass as a JSON-able dict (None for default)."""
+    if costs is None:
+        return None
+    return json.loads(json.dumps(dataclasses.asdict(costs)))
+
+
+def cell_fingerprint(size: int, network: str,
+                     config: Optional[KernelConfig],
+                     iterations: int, warmup: int,
+                     costs: Any = None,
+                     salt: Optional[str] = None) -> str:
+    """Stable hex fingerprint of one sweep cell."""
+    payload = {
+        "salt": salt if salt is not None else code_salt(),
+        "size": int(size),
+        "network": network,
+        "config": config_to_jsonable(config),
+        "iterations": int(iterations),
+        "warmup": int(warmup),
+        "costs": costs_to_jsonable(costs),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# RoundTripResult <-> JSON
+# ----------------------------------------------------------------------
+def serialize_result(result: RoundTripResult) -> dict:
+    """A :class:`RoundTripResult` as a JSON-able dict (lossless)."""
+    return {
+        "size": result.size,
+        "iterations": result.iterations,
+        "rtt_us": list(result.rtt_us),
+        "client_spans": dict(result.client_spans),
+        "server_spans": dict(result.server_spans),
+        "client_stats": result.client_stats,
+        "server_stats": result.server_stats,
+        "echo_errors": result.echo_errors,
+        "warmup_client_spans": result.warmup_client_spans,
+        "warmup_server_spans": result.warmup_server_spans,
+    }
+
+
+def deserialize_result(data: dict) -> RoundTripResult:
+    """Inverse of :func:`serialize_result`."""
+    return RoundTripResult(**data)
+
+
+class ResultCache:
+    """One directory of ``<fingerprint>.json`` cell results."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 salt: Optional[str] = None):
+        self.directory = directory or default_cache_dir()
+        self.salt = salt if salt is not None else code_salt()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, fingerprint + ".json")
+
+    def fingerprint(self, size: int, network: str,
+                    config: Optional[KernelConfig],
+                    iterations: int, warmup: int,
+                    costs: Any = None) -> str:
+        return cell_fingerprint(size, network, config, iterations,
+                                warmup, costs=costs, salt=self.salt)
+
+    def get(self, fingerprint: str) -> Optional[RoundTripResult]:
+        """The cached result, or None on miss/corruption."""
+        path = self._path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            result = deserialize_result(doc["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: RoundTripResult,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store one cell result (atomic rename, best-effort)."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(fingerprint)
+        doc = {"salt": self.salt, "meta": meta or {},
+               "result": serialize_result(result)}
+        tmp = path + ".tmp.%d" % os.getpid()
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {self.directory} hits={self.hits} "
+                f"misses={self.misses} stores={self.stores}>")

@@ -1,0 +1,178 @@
+"""Parallel + cached sweep runner for the paper's table cells.
+
+A *cell* is one independent benchmark point — (transfer size, network,
+kernel config) — and every table in the reproduction is a sweep over
+cells.  Cells share no state (each builds a fresh testbed and its own
+:class:`~repro.sim.engine.Simulator`), so they can run in worker
+processes: the runner fans misses out over a ``multiprocessing``
+**spawn** pool (spawn, not fork, so every worker constructs its
+simulation from scratch exactly as a serial run would — deterministic
+per-cell construction, no inherited interpreter state) and fills hits
+from the content-addressed :class:`~repro.perf.cache.ResultCache`.
+
+Ordering is deterministic: results come back positionally
+(``Pool.map``), so a parallel sweep returns cell-for-cell exactly what
+the serial sweep returns (enforced by ``tests/test_perf_cache_runner.
+py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiment import PAPER_SIZES, RoundTripResult, run_round_trip
+from repro.kern.config import KernelConfig
+from repro.perf.cache import (
+    ResultCache,
+    config_from_jsonable,
+    config_to_jsonable,
+    deserialize_result,
+    serialize_result,
+)
+
+__all__ = ["SweepCell", "SweepRunner", "run_sweep", "SweepOptions"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent table cell."""
+
+    size: int
+    network: str = "atm"
+    config: Optional[KernelConfig] = None
+
+
+@dataclass
+class SweepOptions:
+    """Runtime knobs plumbed from the CLI / pytest options.
+
+    ``parallel`` is the worker-process count (0/1 = serial);
+    ``use_cache`` gates the on-disk result cache; ``cache_dir``
+    overrides its location.
+    """
+
+    parallel: int = 0
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+
+def _spawn_main_importable() -> bool:
+    """Can a spawn worker re-import the parent's ``__main__``?
+
+    Spawned children re-run the parent's main module during bootstrap;
+    when that module has no importable origin (stdin scripts, REPLs)
+    every worker dies at startup and ``Pool.map`` waits forever on
+    respawn.  Detect that up front and run serially instead.
+    """
+    main = sys.modules.get("__main__")
+    if main is None:
+        return False
+    if getattr(main, "__spec__", None) is not None:
+        return True
+    path = getattr(main, "__file__", None)
+    return bool(path) and os.path.exists(path)
+
+
+def _run_cell_worker(payload: dict) -> dict:
+    """Spawn-pool entry point: compute one cell, return it serialized."""
+    result = run_round_trip(
+        size=payload["size"],
+        network=payload["network"],
+        config=config_from_jsonable(payload["config"]),
+        iterations=payload["iterations"],
+        warmup=payload["warmup"],
+    )
+    return serialize_result(result)
+
+
+class SweepRunner:
+    """Runs cells through the cache, then serially or on a spawn pool."""
+
+    def __init__(self, parallel: int = 0,
+                 cache: Optional[ResultCache] = None,
+                 iterations: int = 6, warmup: int = 2):
+        self.parallel = max(0, int(parallel))
+        self.cache = cache
+        self.iterations = iterations
+        self.warmup = warmup
+
+    def run(self, cells: Sequence[SweepCell]) -> List[RoundTripResult]:
+        """Results for *cells*, in input order."""
+        results: List[Optional[RoundTripResult]] = [None] * len(cells)
+        misses: List[int] = []
+        fingerprints: List[Optional[str]] = [None] * len(cells)
+        for i, cell in enumerate(cells):
+            if self.cache is not None:
+                fp = self.cache.fingerprint(
+                    cell.size, cell.network, cell.config,
+                    self.iterations, self.warmup)
+                fingerprints[i] = fp
+                cached = self.cache.get(fp)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+            misses.append(i)
+
+        if misses:
+            payloads = [{
+                "size": cells[i].size,
+                "network": cells[i].network,
+                "config": config_to_jsonable(cells[i].config),
+                "iterations": self.iterations,
+                "warmup": self.warmup,
+            } for i in misses]
+            if self.parallel > 1 and len(misses) > 1:
+                computed = self._run_parallel(payloads)
+            else:
+                computed = [_run_cell_worker(p) for p in payloads]
+            for i, doc in zip(misses, computed):
+                result = deserialize_result(doc)
+                results[i] = result
+                if self.cache is not None and fingerprints[i] is not None:
+                    self.cache.put(fingerprints[i], result, meta={
+                        "size": cells[i].size,
+                        "network": cells[i].network,
+                    })
+        return results  # type: ignore[return-value]
+
+    def _run_parallel(self, payloads: List[dict]) -> List[dict]:
+        import multiprocessing
+
+        if not _spawn_main_importable():
+            return [_run_cell_worker(p) for p in payloads]
+        workers = min(self.parallel, len(payloads))
+        ctx = multiprocessing.get_context("spawn")
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                return pool.map(_run_cell_worker, payloads)
+        except (OSError, ImportError):
+            # Constrained environments (no sem_open, no fd spawning):
+            # fall back to in-process serial execution.
+            return [_run_cell_worker(p) for p in payloads]
+
+
+def run_sweep(network: str = "atm",
+              config: Optional[KernelConfig] = None,
+              sizes: Optional[Sequence[int]] = None,
+              iterations: int = 6, warmup: int = 2,
+              options: Optional[SweepOptions] = None,
+              ) -> Dict[int, RoundTripResult]:
+    """One full size sweep; returns ``{size: RoundTripResult}``.
+
+    The shared entry point behind the CLI tables and the pytest
+    benchmarks: honors ``options.parallel`` and the on-disk cache, so
+    the Table 1 ATM baseline computed by one process is a cache hit
+    for every later table, benchmark session or CLI run.
+    """
+    options = options or SweepOptions()
+    sizes = list(sizes) if sizes is not None else list(PAPER_SIZES)
+    cache = ResultCache(options.cache_dir) if options.use_cache else None
+    runner = SweepRunner(parallel=options.parallel, cache=cache,
+                         iterations=iterations, warmup=warmup)
+    cells = [SweepCell(size=s, network=network, config=config)
+             for s in sizes]
+    results = runner.run(cells)
+    return {cell.size: result for cell, result in zip(cells, results)}

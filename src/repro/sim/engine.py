@@ -15,6 +15,28 @@ The kernel is deliberately small and deterministic:
   and every hook site is a single ``is not None`` test, so an
   unobserved run pays nothing and stays byte-identical to the seed.
 
+Performance notes (the ``repro.perf`` hot path):
+
+* Heap entries are ``(time, key, call)`` tuples, so every sift
+  comparison during push/pop is a C-level integer compare —
+  :class:`ScheduledCall` objects are never compared by the heap.
+* The dispatch loops in :meth:`Simulator.run` and
+  :meth:`Simulator.run_until_triggered` are inlined with hot names
+  bound to locals, and split into a hooks-off fast variant so the
+  unobserved run does not re-test ``self.hooks`` against every hook
+  site of :meth:`Simulator.step`.
+* Dispatched :class:`ScheduledCall` handles are recycled on a
+  per-simulator free list.  A handle is only pooled when the dispatch
+  loop holds the *sole* remaining reference (checked with
+  ``sys.getrefcount``), so a caller that kept the handle — a TCP
+  retransmit timer, the CPU model's completion — can never observe
+  its object being reused, and a stale ``cancel()`` can never hit a
+  recycled entry.
+* Lazily-cancelled entries are skipped at a single point, and the heap
+  is compacted in place once cancelled entries outnumber live ones
+  (the CPU model's preemption leaves dead completions far in the
+  future; TCP cancels retransmit/delayed-ack timers constantly).
+
 Everything else in :mod:`repro` — the CPU model, the device models, the
 protocol stack — is built on these primitives.
 """
@@ -22,7 +44,7 @@ protocol stack — is built on these primitives.
 from __future__ import annotations
 
 import heapq
-import itertools
+from sys import getrefcount as _refcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.sim.errors import (
@@ -45,6 +67,15 @@ __all__ = [
 
 #: Nanoseconds per microsecond; the paper reports everything in µs.
 NS_PER_US = 1000
+
+#: Upper bound on pooled ScheduledCall handles per simulator.
+_POOL_MAX = 1024
+
+#: Cancelled-entry compaction is considered every this-many schedules.
+_COMPACT_MASK = 0xFFF
+
+#: Heaps smaller than this are never compacted (not worth the scan).
+_COMPACT_MIN = 64
 
 
 def _mix64(seed: int, seq: int) -> int:
@@ -201,7 +232,13 @@ class Event:
     def _schedule_callbacks(self) -> None:
         callbacks, self._callbacks = self._callbacks, None
         if callbacks:
-            self.sim.schedule(0, self._dispatch, callbacks)
+            if len(callbacks) == 1:
+                # Single waiter (the overwhelmingly common case): skip
+                # the _dispatch wrapper frame.  Same queue position,
+                # same dispatch time and order.
+                self.sim.schedule(0, callbacks[0], self)
+            else:
+                self.sim.schedule(0, self._dispatch, callbacks)
 
     def _dispatch(self, callbacks: Iterable[Callable[["Event"], None]]) -> None:
         for fn in callbacks:
@@ -289,9 +326,14 @@ class Simulator:
     def __init__(self, hooks: Optional[Any] = None,
                  tiebreak: Optional[str] = None) -> None:
         self._now = 0
-        self._queue: List[ScheduledCall] = []
-        self._seq = itertools.count()
+        #: Heap of ``(time, key, ScheduledCall)``: comparisons stay on
+        #: the integer prefix (keys are unique per simulator), so the
+        #: heap never falls back to comparing ScheduledCall objects.
+        self._queue: List[tuple] = []
+        self._seq_next = 0
         self._events_executed = 0
+        #: Recycled ScheduledCall handles (see module docstring).
+        self._pool: List[ScheduledCall] = []
         #: Observability hooks (repro.obs.hooks.SimHooks) or None.
         #: Read directly by the CPU model; install via set_hooks().
         self.hooks: Optional[Any] = None
@@ -334,6 +376,11 @@ class Simulator:
         """Number of callbacks executed so far (diagnostics)."""
         return self._events_executed
 
+    @property
+    def pooled_calls(self) -> int:
+        """ScheduledCall handles currently on the free list (diagnostics)."""
+        return len(self._pool)
+
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
@@ -341,27 +388,70 @@ class Simulator:
         """Run ``fn(*args)`` after *delay_ns* nanoseconds."""
         if delay_ns < 0:
             raise SchedulingError(f"negative delay: {delay_ns}")
-        seq = next(self._seq)
+        seq = self._seq_next
+        self._seq_next = seq + 1
         key = seq if self._keyfn is None else self._keyfn(seq)
-        call = ScheduledCall(self._now + int(delay_ns), seq, fn, args, key)
-        heapq.heappush(self._queue, call)
+        time = self._now + int(delay_ns)
+        pool = self._pool
+        if pool:
+            call = pool.pop()
+            call.time = time
+            call.seq = seq
+            call.key = key
+            call.fn = fn
+            call.args = args
+            call.cancelled = False
+        else:
+            call = ScheduledCall(time, seq, fn, args, key)
+        heapq.heappush(self._queue, (time, key, call))
+        if not (seq & _COMPACT_MASK):
+            self._maybe_compact()
         if self.hooks is not None:
             self.hooks.on_schedule(self._now, call)
         return call
+
+    def _maybe_compact(self) -> None:
+        """Drop lazily-cancelled heap entries once they are the majority.
+
+        Rebuilds **in place** (slice assignment + heapify) because the
+        dispatch loops hold a direct reference to the heap list.
+        """
+        queue = self._queue
+        if len(queue) < _COMPACT_MIN:
+            return
+        live = [entry for entry in queue if not entry[2].cancelled]
+        if len(live) * 2 <= len(queue):
+            queue[:] = live
+            heapq.heapify(queue)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered :class:`Event`."""
         return Event(self, name=name)
 
     def timeout(self, delay_ns: int, value: Any = None) -> Event:
-        """An event that succeeds with *value* after *delay_ns*."""
-        ev = Event(self, name=f"timeout({delay_ns})")
+        """An event that succeeds with *value* after *delay_ns*.
+
+        Fast path: waiters registered before the deadline are invoked
+        directly from the timeout's own dispatch slot — same simulated
+        time, same registration order — instead of hopping through a
+        second delay-0 event (``succeed`` → ``_dispatch``).  A process
+        yielding a timeout therefore resumes one queue operation
+        earlier; callbacks added *after* the trigger still go through
+        :meth:`Event.add_callback`'s scheduled path.
+        """
+        ev = Event(self, name="timeout")
         self.schedule(delay_ns, self._trigger_timeout, ev, value)
         return ev
 
     @staticmethod
     def _trigger_timeout(ev: Event, value: Any) -> None:
-        ev.succeed(value)
+        if ev._value is not Event._PENDING or ev._exc is not None:
+            raise EventError(f"event {ev.name!r} already triggered")
+        ev._value = value
+        callbacks, ev._callbacks = ev._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(ev)
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start a generator as a simulated process."""
@@ -428,18 +518,37 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next non-cancelled callback.  Returns False when
-        the queue is empty."""
-        while self._queue:
-            call = heapq.heappop(self._queue)
+        the queue is empty.
+
+        This is the single cancelled-entry skip point: ``run(until)``
+        peeks through the same logic instead of re-scanning (the seed
+        popped cancelled heads in ``_peek_time`` *and* re-checked
+        ``cancelled`` here on every iteration).
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time, _key, call = pop(queue)
             if call.cancelled:
+                if _refcount(call) == 2 and len(self._pool) < _POOL_MAX:
+                    call.fn = _noop
+                    call.args = ()
+                    self._pool.append(call)
                 continue
-            if call.time < self._now:
+            if time < self._now:
                 raise SchedulingError("event queue went backwards in time")
-            self._now = call.time
+            self._now = time
             self._events_executed += 1
             if self.hooks is not None:
-                self.hooks.on_dispatch(self._now, call)
+                self.hooks.on_dispatch(time, call)
             call.fn(*call.args)
+            # Recycle the handle if the loop holds the only reference
+            # left (callers that kept it — timers, CPU completions —
+            # keep their object untouched; see module docstring).
+            if _refcount(call) == 2 and len(self._pool) < _POOL_MAX:
+                call.fn = _noop
+                call.args = ()
+                self._pool.append(call)
             return True
         return False
 
@@ -451,29 +560,141 @@ class Simulator:
         *until*.  Without it, run until the queue is empty.
         """
         if until is None:
-            while self.step():
-                pass
+            self._run_all()
             return
         if until < self._now:
             raise SchedulingError(f"until={until} is in the past")
-        while self._queue:
-            if self._peek_time() > until:
-                break
-            self.step()
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._pool
+        executed = 0
+        try:
+            while queue:
+                entry = queue[0]
+                call = entry[2]
+                if call.cancelled:
+                    pop(queue)
+                    if _refcount(call) == 2 and len(pool) < _POOL_MAX:
+                        call.fn = _noop
+                        call.args = ()
+                        pool.append(call)
+                    continue
+                time = entry[0]
+                if time > until:
+                    break
+                pop(queue)
+                if time < self._now:
+                    raise SchedulingError(
+                        "event queue went backwards in time")
+                self._now = time
+                executed += 1
+                hooks = self.hooks
+                if hooks is not None:
+                    hooks.on_dispatch(time, call)
+                call.fn(*call.args)
+                if _refcount(call) == 2 and len(pool) < _POOL_MAX:
+                    call.fn = _noop
+                    call.args = ()
+                    pool.append(call)
+        finally:
+            self._events_executed += executed
         self._now = until
+
+    def _run_all(self) -> None:
+        """Drain the queue (``run()`` with no deadline), hooks-off fast
+        loop with a hooks-aware fallback."""
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._pool
+        executed = 0
+        try:
+            while queue:
+                if self.hooks is not None:
+                    # Hooks installed (possibly mid-run): take the
+                    # fully-guarded path for the remaining events.
+                    self._events_executed += executed
+                    executed = 0
+                    while self.step():
+                        pass
+                    return
+                time, _key, call = pop(queue)
+                if call.cancelled:
+                    if _refcount(call) == 2 and len(pool) < _POOL_MAX:
+                        call.fn = _noop
+                        call.args = ()
+                        pool.append(call)
+                    continue
+                if time < self._now:
+                    raise SchedulingError(
+                        "event queue went backwards in time")
+                self._now = time
+                executed += 1
+                call.fn(*call.args)
+                if _refcount(call) == 2 and len(pool) < _POOL_MAX:
+                    call.fn = _noop
+                    call.args = ()
+                    pool.append(call)
+        finally:
+            self._events_executed += executed
 
     def run_until_triggered(self, event: Event) -> Any:
         """Run until *event* triggers; return its value."""
-        while not event.triggered:
-            if not self.step():
-                raise Deadlock(
-                    f"event queue drained; {event!r} never triggered"
-                )
+        pending = Event._PENDING
+        if self.hooks is not None:
+            while event._value is pending and event._exc is None:
+                if not self.step():
+                    raise Deadlock(
+                        f"event queue drained; {event!r} never triggered"
+                    )
+            return event.value
+        # Hooks-off fast loop: inlined dispatch, hot names in locals.
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._pool
+        executed = 0
+        try:
+            while event._value is pending and event._exc is None:
+                if self.hooks is not None:
+                    # Installed mid-run: fall back to the guarded path.
+                    self._events_executed += executed
+                    executed = 0
+                    if not self.step():
+                        raise Deadlock(
+                            f"event queue drained; {event!r} never "
+                            f"triggered")
+                    continue
+                while True:
+                    if not queue:
+                        raise Deadlock(
+                            f"event queue drained; {event!r} never "
+                            f"triggered")
+                    time, _key, call = pop(queue)
+                    if not call.cancelled:
+                        break
+                    if _refcount(call) == 2 and len(pool) < _POOL_MAX:
+                        call.fn = _noop
+                        call.args = ()
+                        pool.append(call)
+                if time < self._now:
+                    raise SchedulingError(
+                        "event queue went backwards in time")
+                self._now = time
+                executed += 1
+                call.fn(*call.args)
+                if _refcount(call) == 2 and len(pool) < _POOL_MAX:
+                    call.fn = _noop
+                    call.args = ()
+                    pool.append(call)
+        finally:
+            self._events_executed += executed
         return event.value
 
     def _peek_time(self) -> int:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        """Earliest live event time (compat helper; the run loops now
+        peek inline through :meth:`step`'s single skip point)."""
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        if not queue:
             return self._now
-        return self._queue[0].time
+        return queue[0][0]

@@ -203,3 +203,91 @@ class TestDropFront:
         n = data.draw(st.integers(min_value=0, max_value=size))
         pool.drop_front(chain, n)
         assert chain.to_bytes() == payload[n:]
+
+
+class TestFreeList:
+    """Header recycling: modelled costs and safety semantics must be
+    untouched; only Python-level allocation churn goes away."""
+
+    def test_freed_header_is_reused(self, pool):
+        chain, _ = pool.build_chain(b"x" * 300, use_clusters=False)
+        count = chain.mbuf_count
+        pool.free_chain(chain)
+        assert pool.free_list_depth == count
+        chain2, _ = pool.build_chain(b"y" * 300, use_clusters=False)
+        assert pool.reused == count
+        assert chain2.to_bytes() == b"y" * 300
+        assert pool.free_list_depth == 0
+
+    def test_reuse_covers_cluster_headers(self, pool):
+        chain, _ = pool.build_chain(b"z" * 2000, use_clusters=True)
+        pool.free_chain(chain)
+        depth = pool.free_list_depth
+        assert depth >= 1
+        chain2, _ = pool.build_chain(b"w" * 2000, use_clusters=True)
+        assert pool.reused >= 1
+        assert chain2.to_bytes() == b"w" * 2000
+
+    def test_retained_reference_is_not_recycled(self, pool):
+        """A header some caller still holds keeps its identity — and
+        its freed flag — so use-after-free detection survives."""
+        mbuf, _ = pool.alloc(b"kept")
+        pool.free(mbuf)  # caller still holds `mbuf`
+        assert pool.free_list_depth == 0
+        assert mbuf.freed
+        with pytest.raises(MbufError):
+            pool.free(mbuf)  # double free still detected
+        # And a fresh alloc cannot alias the retained header.
+        fresh, _ = pool.alloc(b"new")
+        assert fresh is not mbuf
+
+    def test_use_after_free_still_raises_through_reuse_cycle(self, pool):
+        chain, _ = pool.build_chain(b"a" * 100, use_clusters=False)
+        pool.free_chain(chain)
+        # Recycle the header into a new allocation...
+        mbuf, _ = pool.alloc(b"b" * 50)
+        assert pool.reused == 1
+        # ...then free it and poke it: still flagged.
+        pool.free(mbuf)
+        assert mbuf.freed
+        with pytest.raises(MbufError):
+            pool.free(mbuf)
+
+    def test_modelled_costs_unchanged_by_reuse(self, pool):
+        mbuf, cost_first = pool.alloc(b"x")
+        held = [mbuf]
+        del mbuf
+        pool.free(held.pop())  # pop first: sole-reference free
+        assert pool.free_list_depth == 1
+        _, cost_reused = pool.alloc(b"x")
+        assert pool.reused == 1
+        assert cost_reused == cost_first  # 1994 cycle model, not ours
+
+    def test_reuse_counters_reach_metrics_registry(self, pool):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pool.metrics = registry.scope("host")
+        chain, _ = pool.build_chain(b"m" * 300, use_clusters=False)
+        count = chain.mbuf_count
+        pool.free_chain(chain)
+        pool.build_chain(b"n" * 300, use_clusters=False)
+        assert registry.value("host.mbuf.allocations") == 2 * count
+        assert registry.value("host.mbuf.reuses") == count
+
+    def test_free_list_is_bounded(self, pool):
+        from repro.mem.mbuf import _FREE_LIST_MAX
+
+        chains = [pool.build_chain(b"q" * 108, use_clusters=False)[0]
+                  for _ in range(_FREE_LIST_MAX + 50)]
+        for chain in chains:
+            pool.free_chain(chain)
+        assert pool.free_list_depth <= _FREE_LIST_MAX
+
+    def test_oversize_reuse_request_raises_and_keeps_header(self, pool):
+        held = [pool.alloc(b"s")[0]]
+        pool.free(held.pop())  # pop first: sole-reference free
+        assert pool.free_list_depth == 1
+        with pytest.raises(MbufError):
+            pool.alloc(b"t" * 500)  # exceeds normal capacity
+        assert pool.free_list_depth == 1  # header returned to the list

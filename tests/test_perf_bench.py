@@ -1,0 +1,60 @@
+"""Bench harness report/comparison logic (no heavy timing here)."""
+
+import json
+
+from repro.perf.bench import (
+    compare_to_baseline,
+    format_report,
+    write_report,
+)
+
+
+def test_direction_aware_regression_detection():
+    baseline = {"eventloop_deep_events_per_sec": 1000.0,
+                "rtt_1400_wall_ms": 10.0,
+                "table1_cold_serial_wall_s": 2.0}
+    metrics = {"eventloop_deep_events_per_sec": 700.0,   # -30% thpt: bad
+               "rtt_1400_wall_ms": 13.0,                 # +30% wall: bad
+               "table1_cold_serial_wall_s": 1.0,         # -50% wall: good
+               "brand_new_metric_per_sec": 5.0}          # no baseline
+    rows = {r["metric"]: r for r in
+            compare_to_baseline(metrics, baseline, tolerance_pct=20.0)}
+    assert rows["eventloop_deep_events_per_sec"]["regressed"]
+    assert rows["rtt_1400_wall_ms"]["regressed"]
+    assert not rows["table1_cold_serial_wall_s"]["regressed"]
+    assert "brand_new_metric_per_sec" not in rows  # skipped, not crashed
+
+
+def test_tolerance_band_swallows_noise():
+    baseline = {"cpu_jobs_per_sec": 1000.0}
+    rows = compare_to_baseline({"cpu_jobs_per_sec": 850.0}, baseline,
+                               tolerance_pct=20.0)
+    assert not rows[0]["regressed"]  # -15% is inside the band
+    rows = compare_to_baseline({"cpu_jobs_per_sec": 850.0}, baseline,
+                               tolerance_pct=10.0)
+    assert rows[0]["regressed"]
+
+
+def test_write_report_round_trips_and_compares(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(
+        {"label": "seed", "metrics": {"cpu_jobs_per_sec": 100.0}}))
+    out = tmp_path / "BENCH_x.json"
+    doc = write_report({"cpu_jobs_per_sec": 250.0}, "x",
+                       out_path=str(out),
+                       baseline_path=str(baseline_path))
+    on_disk = json.loads(out.read_text())
+    assert on_disk["metrics"]["cpu_jobs_per_sec"] == 250.0
+    assert on_disk["comparison"]["baseline_label"] == "seed"
+    assert on_disk["comparison"]["rows"][0]["change_pct"] == 150.0
+    assert not on_disk["comparison"]["rows"][0]["regressed"]
+    text = format_report(doc)
+    assert "cpu_jobs_per_sec" in text and "OK: within tolerance" in text
+
+
+def test_missing_baseline_omits_comparison(tmp_path):
+    out = tmp_path / "BENCH_y.json"
+    doc = write_report({"cpu_jobs_per_sec": 1.0}, "y", out_path=str(out),
+                       baseline_path=str(tmp_path / "nope.json"))
+    assert doc["comparison"] is None
+    assert "report ->" in format_report(doc)

@@ -1,0 +1,183 @@
+"""Cache and parallel-runner correctness (repro.perf).
+
+The cache's contract is that a hit is indistinguishable from a
+recompute, and the runner's contract is that ``--parallel N`` returns
+cell-for-cell exactly what a serial run returns.  Everything here runs
+on tiny sweeps (2 iterations) so tier-1 stays fast.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core.breakdown import measure_breakdowns
+from repro.core.experiment import run_round_trip
+from repro.kern.config import ChecksumMode, KernelConfig
+from repro.perf.cache import (
+    ResultCache,
+    cell_fingerprint,
+    code_salt,
+    config_from_jsonable,
+    config_to_jsonable,
+    deserialize_result,
+    serialize_result,
+)
+from repro.perf.runner import SweepCell, SweepOptions, SweepRunner, run_sweep
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def small_result(size=80, **kwargs):
+    return run_round_trip(size=size, iterations=2, warmup=1, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def test_result_serialization_round_trips_losslessly():
+    result = small_result(size=1400)
+    clone = deserialize_result(
+        json.loads(json.dumps(serialize_result(result))))
+    assert dataclasses.asdict(clone) == dataclasses.asdict(result)
+    # Derived views keep working on the clone.
+    assert clone.mean_rtt_us == result.mean_rtt_us
+    assert clone.span_per_transfer("client", "tx.user") == \
+        result.span_per_transfer("client", "tx.user")
+
+
+def test_config_serialization_handles_enums_and_none():
+    assert config_to_jsonable(None) is None
+    assert config_from_jsonable(None) is None
+    config = KernelConfig(header_prediction=False,
+                          checksum_mode=ChecksumMode.INTEGRATED)
+    clone = config_from_jsonable(
+        json.loads(json.dumps(config_to_jsonable(config))))
+    assert clone == config
+    assert isinstance(clone.checksum_mode, ChecksumMode)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_distinguishes_every_cell_dimension():
+    base = dict(size=1400, network="atm", config=None,
+                iterations=6, warmup=2, salt="s")
+    fp = cell_fingerprint(**base)
+    assert fp == cell_fingerprint(**base)  # stable
+    for change in (dict(size=8000), dict(network="ethernet"),
+                   dict(config=KernelConfig(header_prediction=False)),
+                   dict(iterations=4), dict(warmup=1),
+                   dict(salt="other")):
+        assert cell_fingerprint(**{**base, **change}) != fp, change
+
+
+def test_code_salt_is_memoized_and_ignores_perf_sources():
+    assert code_salt() == code_salt()
+    # The salt must cover the simulation sources...
+    import repro.sim.engine as engine_mod
+    assert os.path.exists(engine_mod.__file__)
+    # ...but not repro.perf itself (editing the tooling keeps caches
+    # warm).  Enforced structurally: the walk prunes 'perf' dirs.
+    import inspect
+
+    from repro.perf import cache as cache_mod
+    assert "perf" in inspect.getsource(cache_mod.code_salt)
+
+
+# ----------------------------------------------------------------------
+# Cache behavior
+# ----------------------------------------------------------------------
+def test_cache_hit_returns_identical_result(cache):
+    result = small_result()
+    fp = cache.fingerprint(80, "atm", None, 2, 1)
+    assert cache.get(fp) is None  # cold
+    cache.put(fp, result)
+    hit = cache.get(fp)
+    assert hit is not None
+    assert dataclasses.asdict(hit) == dataclasses.asdict(result)
+    assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+
+def test_salt_change_invalidates(tmp_path):
+    result = small_result()
+    a = ResultCache(str(tmp_path), salt="salt-a")
+    b = ResultCache(str(tmp_path), salt="salt-b")
+    fp_a = a.fingerprint(80, "atm", None, 2, 1)
+    a.put(fp_a, result)
+    assert a.get(fp_a) is not None
+    # Same cell, new code version: different fingerprint, so a miss.
+    fp_b = b.fingerprint(80, "atm", None, 2, 1)
+    assert fp_b != fp_a
+    assert b.get(fp_b) is None
+
+
+def test_corrupt_cache_entry_is_a_miss(cache):
+    result = small_result()
+    fp = cache.fingerprint(80, "atm", None, 2, 1)
+    cache.put(fp, result)
+    path = cache._path(fp)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    assert cache.get(fp) is None
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+CELLS = [SweepCell(size=4), SweepCell(size=80, network="ethernet"),
+         SweepCell(size=200,
+                   config=KernelConfig(header_prediction=False))]
+
+
+def test_runner_mixes_hits_and_misses_in_input_order(cache):
+    runner = SweepRunner(cache=cache, iterations=2, warmup=1)
+    first = runner.run(CELLS)
+    assert [r.size for r in first] == [4, 80, 200]
+    assert cache.stores == len(CELLS)
+    second = runner.run(CELLS)
+    assert cache.hits == len(CELLS)
+    for a, b in zip(first, second):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def test_parallel_equals_serial_cell_for_cell(tmp_path):
+    serial = SweepRunner(parallel=0, iterations=2, warmup=1).run(CELLS)
+    parallel = SweepRunner(parallel=2, iterations=2, warmup=1).run(CELLS)
+    for a, b in zip(serial, parallel):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def test_run_sweep_without_cache_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    results = run_sweep(sizes=[4], iterations=2, warmup=1,
+                        options=SweepOptions(use_cache=False))
+    assert list(results) == [4]
+    assert not (tmp_path / "c").exists()
+
+
+def test_run_sweep_matches_direct_computation(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    swept = run_sweep(sizes=[80], iterations=2, warmup=1,
+                      options=SweepOptions())
+    direct = small_result()
+    assert dataclasses.asdict(swept[80]) == dataclasses.asdict(direct)
+    # And the second call is served from disk, still identical.
+    again = run_sweep(sizes=[80], iterations=2, warmup=1,
+                      options=SweepOptions())
+    assert dataclasses.asdict(again[80]) == dataclasses.asdict(direct)
+
+
+def test_breakdowns_via_runner_match_plain_loop(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    plain_tx, plain_rx = measure_breakdowns(sizes=[200], iterations=2,
+                                            warmup=1)
+    swept_tx, swept_rx = measure_breakdowns(sizes=[200], iterations=2,
+                                            warmup=1,
+                                            options=SweepOptions())
+    assert swept_tx == plain_tx
+    assert swept_rx == plain_rx

@@ -1,0 +1,80 @@
+"""The optimized engine must be *observably identical* to the seed.
+
+``tests/perf_golden/*.json`` was captured from the seed engine before
+any of the hot-path work (tuple heap entries, handle pooling, heap
+compaction, direct timeout dispatch, adaptive checksum, mbuf free
+list) landed.  Each fixture holds the full observable surface of one
+round-trip run — every packet-log line, every RTT sample, and the
+conservation counters (CPU busy ns, jobs, preemptions, IPQ and TCP
+counts).  These tests replay the same runs on the current engine, both
+with hooks installed (guarded dispatch path) and without (fast path),
+and require byte-for-byte equality.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.racecheck import digest_round_trip
+from repro.core.experiment import RoundTripBenchmark
+from repro.core.packetlog import attach_packet_log
+from repro.core.testbed import build_atm_pair, build_ethernet_pair
+from repro.kern.config import KernelConfig
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "perf_golden")
+CASES = sorted(f[:-5] for f in os.listdir(GOLDEN_DIR)
+               if f.endswith(".json"))
+
+
+def load(case):
+    with open(os.path.join(GOLDEN_DIR, case + ".json"),
+              encoding="utf-8") as fh:
+        doc = json.load(fh)
+    config = KernelConfig(**doc["config"]) if doc["config"] else None
+    return doc, config
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_hooked_run_matches_seed_golden(case):
+    """Guarded dispatch path (hooks installed by the racechecker)."""
+    doc, config = load(case)
+    digest = digest_round_trip(config=config, **doc["kwargs"])
+    assert digest.invariant_violations == []
+    assert digest.lines == doc["lines"]
+    assert digest.samples == doc["samples"]
+    assert digest.counters == doc["counters"]
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_fast_path_run_matches_seed_golden(case):
+    """Hooks-off fast path: same runs without any SimHooks installed."""
+    doc, config = load(case)
+    kwargs = doc["kwargs"]
+    builder = {"atm": build_atm_pair,
+               "ethernet": build_ethernet_pair}[kwargs["network"]]
+    testbed = builder(config=config)
+    assert testbed.sim.hooks is None  # the point of this variant
+    log = attach_packet_log(testbed)
+    result = RoundTripBenchmark(testbed, kwargs["size"],
+                                iterations=kwargs["iterations"],
+                                warmup=kwargs["warmup"]).run()
+    assert log.format().splitlines() == doc["lines"]
+    assert list(result.rtt_us) == doc["samples"]
+    counters = doc["counters"]
+    for host in testbed.hosts:
+        assert host.cpu.busy_ns == counters[f"{host.name}.cpu.busy_ns"]
+        assert host.cpu.jobs_completed == counters[f"{host.name}.cpu.jobs"]
+        assert host.cpu.preemptions == \
+            counters[f"{host.name}.cpu.preemptions"]
+        assert host.softnet.dispatched == \
+            counters[f"{host.name}.ipq.dispatched"]
+
+
+def test_goldens_cover_both_networks_and_a_config_variant():
+    """Guard against the fixture set silently shrinking."""
+    docs = [load(case)[0] for case in CASES]
+    networks = {doc["kwargs"]["network"] for doc in docs}
+    assert networks == {"atm", "ethernet"}
+    assert any(doc["config"] for doc in docs)
+    assert any(doc["kwargs"]["size"] >= 8000 for doc in docs)

@@ -294,3 +294,132 @@ def test_determinism_event_counts_match():
     first = build()
     second = build()
     assert first == second
+
+
+class TestHotPathMachinery:
+    """The perf machinery behind the fast path: handle pooling, heap
+    compaction, and the direct timeout dispatch — all invisible to
+    simulation results (see tests/test_perf_equivalence.py for the
+    end-to-end byte-identity proof)."""
+
+    def test_dispatched_handles_are_pooled_and_reused(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+        assert sim.pooled_calls > 0
+        before = sim.pooled_calls
+        sim.schedule(100, fired.append, 10)
+        assert sim.pooled_calls == before - 1  # reused, not allocated
+        sim.run()
+        assert fired[-1] == 10
+
+    def test_retained_handle_is_never_recycled(self):
+        """A caller keeping the handle (timer-style) must keep a dead
+        object, not a recycled one: cancel() after dispatch stays a
+        harmless no-op."""
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(5, fired.append, "kept")
+        sim.schedule(10, fired.append, "later")
+        sim.run()
+        assert sim.pooled_calls >= 1
+        handle.cancel()  # stale cancel on a retained, spent handle
+        # New work is unaffected by the stale cancel.
+        sim.schedule(20, fired.append, "after")
+        sim.run()
+        assert fired == ["kept", "later", "after"]
+
+    def test_cancelled_majority_triggers_in_place_compaction(self):
+        from repro.sim import engine as engine_mod
+
+        sim = Simulator()
+        keep = [sim.schedule(10_000_000 + i, lambda: None)
+                for i in range(10)]
+        cancelled = []
+        # Enough entries to clear _COMPACT_MIN, almost all cancelled.
+        for i in range(engine_mod._COMPACT_MIN * 2):
+            handle = sim.schedule(1_000 + i, lambda: None)
+            handle.cancel()
+            cancelled.append(handle)
+        heap_before = sim._queue
+        # Force the periodic check (it runs every _COMPACT_MASK+1
+        # schedules) by scheduling through the boundary.
+        for _ in range(engine_mod._COMPACT_MASK + 1):
+            sim.schedule(20_000_000, lambda: None).cancel()
+        assert sim._queue is heap_before  # compacted IN PLACE
+        # The thousands of cancelled entries scheduled before the
+        # periodic check were dropped; only entries scheduled after the
+        # compaction point (at most _COMPACT_MASK of them) may linger.
+        assert len(sim._queue) < engine_mod._COMPACT_MASK
+        assert {e[2] for e in sim._queue if not e[2].cancelled} >= \
+            set(keep)
+        sim.run()
+
+    def test_run_until_skips_cancelled_heads(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(10 + i, fired.append, i).cancel()
+        sim.schedule(50, fired.append, "live")
+        sim.run(until=40)
+        assert sim.now == 40
+        assert fired == []
+        sim.run(until=60)
+        assert fired == ["live"]
+
+    def test_timeout_direct_dispatch_matches_event_semantics(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.timeout(10, "val")
+        ev.add_callback(lambda e: seen.append(("a", e.value, sim.now)))
+        ev.add_callback(lambda e: seen.append(("b", e.value, sim.now)))
+        sim.run()
+        assert seen == [("a", "val", 10), ("b", "val", 10)]
+        assert ev.triggered and ev.ok and ev.value == "val"
+        # Late registration still fires (scheduled, same timestamp).
+        ev.add_callback(lambda e: seen.append(("late", e.value, sim.now)))
+        sim.run()
+        assert seen[-1] == ("late", "val", 10)
+
+    def test_timeout_double_trigger_still_rejected(self):
+        sim = Simulator()
+        ev = sim.timeout(10)
+        ev.succeed("early")  # user triggers it before the deadline
+        with pytest.raises(EventError):
+            sim.run()
+
+    def test_pool_never_grows_beyond_cap(self):
+        from repro.sim import engine as engine_mod
+
+        sim = Simulator()
+        for i in range(engine_mod._POOL_MAX + 500):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.pooled_calls <= engine_mod._POOL_MAX
+
+    def test_hooks_installed_mid_run_take_guarded_path(self):
+        from repro.obs.hooks import SimHooks
+
+        class Counting(SimHooks):
+            def __init__(self):
+                self.dispatched = 0
+
+            def on_dispatch(self, now_ns, call):
+                self.dispatched += 1
+
+        sim = Simulator()
+        hooks = Counting()
+        fired = []
+
+        def install():
+            sim.set_hooks(hooks)
+
+        sim.schedule(10, install)
+        for i in range(5):
+            sim.schedule(20 + i, fired.append, i)
+        sim.run()
+        assert fired == list(range(5))
+        assert hooks.dispatched == 5  # events after install are seen
