@@ -454,9 +454,18 @@ def cmd_racecheck(args) -> int:
         print(f"racecheck: {error}")
         return 2
     target = opts["target"] or "table1"
+    if target == "chaos":
+        # The impaired workload: same determinism bar, faults injected.
+        from repro.chaos import racecheck_chaos
+
+        report = racecheck_chaos(size=opts["size"],
+                                 iterations=opts["iterations"],
+                                 perturbations=tiebreaks)
+        print(report.format())
+        return 0 if report.ok else 1
     if target not in TRACE_TARGETS:
         print(f"unknown racecheck target {target!r}")
-        print(f"available: {' '.join(TRACE_TARGETS)}")
+        print(f"available: {' '.join(TRACE_TARGETS)} chaos")
         return 2
     network, overrides = TRACE_TARGETS[target]
     config = KernelConfig(**overrides) if overrides else None
@@ -465,6 +474,61 @@ def cmd_racecheck(args) -> int:
         iterations=opts["iterations"], perturbations=tiebreaks)
     print(report.format())
     return 0 if report.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    """``python -m repro chaos [--quick] [--seed N] [--network NET]
+    [--losses 0,0.01,..] [--sizes 200,1400,..] [--iterations N]``."""
+    from repro.chaos import (
+        DEFAULT_LOSSES,
+        DEFAULT_SIZES,
+        format_loss_sweep,
+        run_loss_sweep,
+    )
+
+    seed, network = 1994, "atm"
+    losses, sizes = list(DEFAULT_LOSSES), list(DEFAULT_SIZES)
+    iterations, quick = 24, False
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("--seed", "--network", "--losses", "--sizes",
+                   "--iterations"):
+            if i + 1 >= len(args):
+                print(f"chaos: {arg} needs a value")
+                return 2
+            value = args[i + 1]
+            try:
+                if arg == "--seed":
+                    seed = int(value)
+                elif arg == "--network":
+                    network = value
+                elif arg == "--losses":
+                    losses = [float(x) for x in value.split(",") if x]
+                elif arg == "--sizes":
+                    sizes = [int(x) for x in value.split(",") if x]
+                else:
+                    iterations = int(value)
+            except ValueError:
+                print(f"chaos: bad value for {arg}: {value!r}")
+                return 2
+            i += 2
+        elif arg == "--quick":
+            quick = True
+            i += 1
+        else:
+            print(f"chaos: unknown argument {arg}")
+            return 2
+    if quick:
+        # Smoke configuration for CI: one clean and one lossy column.
+        losses, sizes, iterations = [0.0, 0.02], [1400], 12
+    results = run_loss_sweep(losses=losses, sizes=sizes, seed=seed,
+                             network=network, iterations=iterations,
+                             warmup=2)
+    print(format_loss_sweep(results))
+    bad = sum(1 for r in results if not r.ok)
+    print(f"chaos: {len(results)} cell(s), {bad} with violations")
+    return 1 if bad else 0
 
 
 def _default_baseline_path():
@@ -570,12 +634,14 @@ def main(argv) -> int:
         return cmd_racecheck(args[1:])
     if args and args[0] == "bench":
         return cmd_bench(args[1:])
+    if args and args[0] == "chaos":
+        return cmd_chaos(args[1:])
     names = args or list(SECTIONS)
     unknown = [n for n in names if n not in SECTIONS]
     if unknown:
         print(f"unknown section(s): {', '.join(unknown)}")
         print(f"available: {' '.join(SECTIONS)} trace metrics lint "
-              f"racecheck bench --list "
+              f"racecheck bench chaos --list "
               f"[--parallel N] [--no-cache]")
         return 2
     for i, name in enumerate(names):

@@ -18,7 +18,8 @@ from typing import Any, List
 
 from repro.obs.hooks import SimHooks
 
-__all__ = ["InvariantHooks", "check_ipq_conservation"]
+__all__ = ["InvariantHooks", "check_ipq_conservation",
+           "check_mbuf_conservation", "check_rexmt_backoff_bounded"]
 
 
 class InvariantHooks(SimHooks):
@@ -64,3 +65,60 @@ def check_ipq_conservation(host: Any) -> List[str]:
             f"+ dropped={softnet.dropped_full} "
             f"+ queued={softnet.queue_length}"]
     return []
+
+
+def check_mbuf_conservation(host: Any) -> List[str]:
+    """Mbuf conservation for one host after the run has quiesced.
+
+    Every allocation must be balanced by a free or still be reachable
+    from a socket buffer: ``pool.in_use`` equals the mbufs held by the
+    send/receive chains of the host's connections.  Drops, ENOBUFS
+    denials, and retransmission copies must never leak — the checker
+    catches a chain freed twice (in_use < live) as well as a copy
+    chain that escaped its ``free_chain`` (in_use > live).
+
+    Call this only once the simulation has drained in-flight protocol
+    work (e.g. after running a few seconds past the workload end);
+    a parked transmit still holding its retransmission copy would
+    otherwise count as a leak.
+    """
+    pool = host.pool
+    violations: List[str] = []
+    if pool.freed > pool.allocated:
+        violations.append(
+            f"mbuf-overfree[{host.name}]: freed={pool.freed} > "
+            f"allocated={pool.allocated}")
+    live = 0
+    seen = set()
+    for conn in host.tcp.connections:
+        sock = conn.socket
+        if sock is None or id(sock) in seen:
+            continue
+        seen.add(id(sock))
+        live += sock.so_snd.chain.mbuf_count
+        live += sock.so_rcv.chain.mbuf_count
+    if pool.in_use != live:
+        violations.append(
+            f"mbuf-conservation[{host.name}]: in_use={pool.in_use} != "
+            f"{live} mbufs live in socket buffers "
+            f"(allocated={pool.allocated} freed={pool.freed})")
+    return violations
+
+
+def check_rexmt_backoff_bounded(host: Any) -> List[str]:
+    """The rexmt backoff shift must never exceed BSD's cutoff.
+
+    A shift beyond ``MAX_RTX_SHIFT`` means a connection kept backing
+    off after it should have been dropped — the unbounded-retry bug
+    class the chaos harness exists to catch.
+    """
+    from repro.tcp.states import MAX_RTX_SHIFT
+    violations: List[str] = []
+    for conn in host.tcp.connections:
+        shift = conn.stats.rtx_shift_max
+        if shift > MAX_RTX_SHIFT + 1:
+            # +1: the shift that *triggers* the drop is one past the max.
+            violations.append(
+                f"rexmt-backoff[{host.name}]: shift reached {shift} "
+                f"(cutoff {MAX_RTX_SHIFT})")
+    return violations

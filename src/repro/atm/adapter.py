@@ -58,6 +58,10 @@ class AtmLink:
         #: Time to clock one 53-byte cell onto the fiber.
         self.cell_time_ns = int(round(CELL_SIZE * 8 * 1e9 / bandwidth_bps))
         self.fault_injector = None  # set by fault experiments
+        #: Chaos impairment layer (repro.chaos), duck-typed so this
+        #: module never imports it; None (one attribute test per
+        #: transmit) leaves the wire path byte-identical to the seed.
+        self.impairments = None
         self._ends: List["ForeTca100"] = []
 
     def attach(self, adapter: "ForeTca100") -> None:
@@ -89,6 +93,9 @@ class ForeTca100:
         #: When the wire finishes clocking out the previous packet.
         self._wire_free_at = 0
         self._rx_fifo_cells = 0
+        #: Effective RX FIFO depth; the chaos layer clamps this to force
+        #: overruns, the default matches the TCA-100's 292 cells.
+        self.rx_fifo_limit = self.RX_FIFO_CELLS
         host.attach_interface(self)
 
     @property
@@ -177,8 +184,14 @@ class ForeTca100:
 
         wire_bytes, wire_fault = self._apply_wire_faults(packet)
         peer = link.peer_of(self)
-        sim.schedule(max(0, last_arrival - sim.now), peer.deliver,
-                     wire_bytes, n, wire_fault, data_bearing)
+        delay_ns = max(0, last_arrival - sim.now)
+        impairments = link.impairments
+        if impairments is None:
+            sim.schedule(delay_ns, peer.deliver,
+                         wire_bytes, n, wire_fault, data_bearing)
+        else:
+            impairments.transmit_atm(self, peer, delay_ns, wire_bytes, n,
+                                     wire_fault, data_bearing)
 
     def _apply_wire_faults(self, packet: Packet):
         """Link-stage fault injection on the serialized PDU.
@@ -201,11 +214,13 @@ class ForeTca100:
         self._rx_fifo_cells += n_cells
         self.stats.max_rx_fifo_cells = max(self.stats.max_rx_fifo_cells,
                                            self._rx_fifo_cells)
-        if self._rx_fifo_cells > self.RX_FIFO_CELLS:
+        if self._rx_fifo_cells > self.rx_fifo_limit:
             # FIFO overflow: the tail of this packet was lost.  TCP's
             # retransmission timer recovers.
             self._rx_fifo_cells -= n_cells
             self.stats.rx_fifo_overflows += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("atm.rx_fifo_overflows")
             return
         self.host.sim.process(
             self._rx_interrupt(pdu, n_cells, wire_fault, data_bearing),
@@ -249,6 +264,12 @@ class ForeTca100:
             self.stats.aal_errors += 1
             if host.metrics is not None:
                 host.metrics.inc("atm.aal_errors")
+            return
+
+        # The drained cells are copied into mbufs here; if the pool's
+        # cap leaves no room (ENOBUFS on MGET), the driver drops the
+        # datagram — BSD's IF_DROP — and TCP's rexmt recovers.
+        if not host.pool.admit(len(pdu)):
             return
 
         packet = Packet(pdu)

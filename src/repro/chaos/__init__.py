@@ -1,0 +1,32 @@
+"""Deterministic network impairment + chaos recovery harness.
+
+:mod:`repro.chaos.impair` interposes seed-driven faults (drop, burst
+loss, duplication, reordering, jitter, truncation, resource clamps) on
+the simulated wire; :mod:`repro.chaos.harness` runs the paper's echo
+benchmark under them and audits TCP's recovery invariants.
+"""
+
+from repro.chaos.impair import (
+    ChaosStats,
+    GilbertElliott,
+    ImpairmentConfig,
+    Impairments,
+    ResourceClamp,
+)
+from repro.chaos.harness import (
+    DEFAULT_LOSSES,
+    DEFAULT_SIZES,
+    ChaosCellResult,
+    digest_chaos,
+    format_loss_sweep,
+    racecheck_chaos,
+    run_chaos_cell,
+    run_loss_sweep,
+)
+
+__all__ = [
+    "ChaosStats", "GilbertElliott", "ImpairmentConfig", "Impairments",
+    "ResourceClamp", "ChaosCellResult", "run_chaos_cell",
+    "run_loss_sweep", "format_loss_sweep", "digest_chaos",
+    "racecheck_chaos", "DEFAULT_LOSSES", "DEFAULT_SIZES",
+]

@@ -1,0 +1,383 @@
+"""Deterministic, seed-driven network impairment layer.
+
+The adapters hand every wire transmission to an attached
+:class:`Impairments` engine instead of scheduling delivery directly
+(guarded so that *no* engine means the byte-identical seed path).  The
+engine then injects, per packet:
+
+* **drop** — uniform probability or bursty (Gilbert-Elliott two-state
+  chain), modelling congested-switch cell discard, the dominant factor
+  in TCP-over-ATM loss studies (Goyal et al., Kalyanaraman et al.);
+* **duplication** — the same PDU delivered twice, the second copy
+  after a configurable gap;
+* **reordering** — an extra per-packet delay that lets later packets
+  overtake this one;
+* **delay jitter** — a uniform random addition to the wire latency;
+* **truncation** — the tail cells of the AAL3/4 train (or tail bytes
+  of the Ethernet frame) are cut off, and the *real* reassembly/FCS
+  machinery decides that the PDU is damaged;
+* **targeted window-update loss** — deterministically drop the first N
+  pure-ACK segments that reopen a closed receive window, the exact
+  scenario the persist timer exists for.
+
+Resource-pressure faults are scheduled through the simulator as timed
+*clamps*: a window during which the IP input queue limit, the adapter
+RX FIFO/ring depth, or the mbuf pool capacity is lowered, forcing the
+overflow/ENOBUFS paths to run for real.
+
+Determinism: every endpoint draws from its own forked
+:class:`~repro.sim.rng.SplitMix64Stream`, consumed in that endpoint's
+transmit order, and each packet consumes a *fixed* number of draws —
+so the decision sequence depends only on (seed, endpoint, packet
+index), never on event tie-breaking.  ``repro racecheck chaos``
+verifies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.atm.aal import Aal34Codec, ReassemblyError
+from repro.checksum.crc import crc32
+from repro.faults.injector import FaultOutcome
+from repro.net.headers import IP_HEADER_LEN, TCPFlags, TCPHeader
+from repro.sim.rng import SplitMix64Stream
+
+__all__ = ["GilbertElliott", "ResourceClamp", "ImpairmentConfig",
+           "ChaosStats", "Impairments"]
+
+_U64_SPAN = 1 << 64
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state burst-loss chain: Good (lossless) and Bad (lossy)."""
+
+    p_good_to_bad: float = 0.01
+    p_bad_to_good: float = 0.3
+    p_drop_bad: float = 0.5
+
+
+@dataclass(frozen=True)
+class ResourceClamp:
+    """A timed window during which one resource is artificially scarce.
+
+    ``resource`` is one of ``"ipq"`` (IP input queue length), ``"rx"``
+    (adapter RX FIFO cells / RX ring frames), or ``"mbuf"`` (pool
+    capacity); ``host`` names the testbed host to squeeze.
+    """
+
+    resource: str
+    host: str
+    limit: int
+    start_ns: int
+    duration_ns: int
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """What to inject.  All probabilities are per wire PDU."""
+
+    seed: int = 1994
+    #: Uniform drop probability (ignored when *burst* is set).
+    p_drop: float = 0.0
+    #: Bursty drop model replacing the uniform one.
+    burst: Optional[GilbertElliott] = None
+    p_duplicate: float = 0.0
+    #: Gap between the original and its duplicate.
+    duplicate_gap_ns: int = 50_000
+    p_reorder: float = 0.0
+    #: Extra delay a "reordered" packet suffers (later packets overtake).
+    reorder_delay_ns: int = 200_000
+    #: Uniform jitter in [0, jitter_ns] added to every delivery.
+    jitter_ns: int = 0
+    p_truncate: float = 0.0
+    #: How many tail cells (ATM) / bytes (Ethernet) truncation removes.
+    truncate_cells: int = 1
+    truncate_bytes: int = 64
+    #: Deterministically drop this many window-update ACKs (pure ACKs
+    #: that reopen a zero window) — the persist-timer scenario.
+    drop_window_updates: int = 0
+    #: Timed resource-pressure windows.
+    clamps: Tuple[ResourceClamp, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("p_drop", "p_duplicate", "p_reorder", "p_truncate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+
+class ChaosStats:
+    """Injected-impairment counters (fed to obs as ``chaos.*``)."""
+
+    __slots__ = ("packets_seen", "drops", "burst_drops", "duplicates",
+                 "reorders", "truncations", "window_update_drops",
+                 "jitter_total_ns")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _EndpointState:
+    """Per-transmitting-endpoint impairment state."""
+
+    __slots__ = ("stream", "ge_bad", "last_window")
+
+    def __init__(self, stream: SplitMix64Stream):
+        self.stream = stream
+        self.ge_bad = False       # Gilbert-Elliott chain state
+        self.last_window = None   # last advertised TCP window seen
+
+
+def _threshold(p: float) -> int:
+    """Integer threshold so ``u64 < threshold`` has probability *p*."""
+    return int(p * _U64_SPAN)
+
+
+class Impairments:
+    """The impairment engine for one link (both directions)."""
+
+    def __init__(self, config: ImpairmentConfig):
+        self.config = config
+        self.stats = ChaosStats()
+        self._root = SplitMix64Stream(config.seed, label="chaos")
+        self._endpoints: Dict[str, _EndpointState] = {}
+        self._wud_remaining = config.drop_window_updates
+        # Precomputed integer thresholds: the per-packet decisions are
+        # pure u64 comparisons, no float accumulation.
+        self._t_drop = _threshold(config.p_drop)
+        self._t_dup = _threshold(config.p_duplicate)
+        self._t_reorder = _threshold(config.p_reorder)
+        self._t_truncate = _threshold(config.p_truncate)
+        ge = config.burst
+        if ge is not None:
+            self._t_g2b = _threshold(ge.p_good_to_bad)
+            self._t_b2g = _threshold(ge.p_bad_to_good)
+            self._t_drop_bad = _threshold(ge.p_drop_bad)
+        self._clamp_saved: Dict[Tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, testbed) -> "Impairments":
+        """Interpose on a testbed's link and schedule resource clamps."""
+        testbed.link.impairments = self
+        hosts = {host.name: host for host in testbed.hosts}
+        for clamp in self.config.clamps:
+            host = hosts.get(clamp.host)
+            if host is None:
+                raise ValueError(
+                    f"clamp names unknown host {clamp.host!r} "
+                    f"(have {sorted(hosts)})")
+            testbed.sim.schedule(clamp.start_ns, self._apply_clamp,
+                                 host, clamp)
+            testbed.sim.schedule(clamp.start_ns + clamp.duration_ns,
+                                 self._release_clamp, host, clamp)
+        return self
+
+    def _apply_clamp(self, host, clamp: ResourceClamp) -> None:
+        key = (clamp.host, clamp.resource)
+        if clamp.resource == "ipq":
+            self._clamp_saved[key] = host.softnet.ipq_limit
+            host.softnet.ipq_limit = clamp.limit
+        elif clamp.resource == "rx":
+            iface = host.interface
+            attr = ("rx_fifo_limit" if hasattr(iface, "rx_fifo_limit")
+                    else "rx_ring_limit")
+            self._clamp_saved[key] = getattr(iface, attr)
+            setattr(iface, attr, clamp.limit)
+        elif clamp.resource == "mbuf":
+            self._clamp_saved[key] = host.pool.limit
+            host.pool.limit = clamp.limit
+        else:
+            raise ValueError(f"unknown clamp resource {clamp.resource!r}")
+
+    def _release_clamp(self, host, clamp: ResourceClamp) -> None:
+        key = (clamp.host, clamp.resource)
+        saved = self._clamp_saved.pop(key)
+        if clamp.resource == "ipq":
+            host.softnet.ipq_limit = saved
+        elif clamp.resource == "rx":
+            iface = host.interface
+            attr = ("rx_fifo_limit" if hasattr(iface, "rx_fifo_limit")
+                    else "rx_ring_limit")
+            setattr(iface, attr, saved)
+        elif clamp.resource == "mbuf":
+            host.pool.limit = saved
+
+    # ------------------------------------------------------------------
+    # Per-packet decisions
+    # ------------------------------------------------------------------
+    def _endpoint(self, name: str) -> _EndpointState:
+        state = self._endpoints.get(name)
+        if state is None:
+            state = _EndpointState(self._root.fork(name))
+            self._endpoints[name] = state
+        return state
+
+    def _decide(self, state: _EndpointState) -> Tuple[bool, bool, bool,
+                                                      bool, int]:
+        """(drop, truncate, duplicate, reorder, jitter_ns) for one PDU.
+
+        Exactly six draws per packet, whatever the outcome, so the
+        stream position is a pure function of the packet index.
+        """
+        stream = state.stream
+        u_state = stream.next_u64()
+        u_drop = stream.next_u64()
+        u_trunc = stream.next_u64()
+        u_dup = stream.next_u64()
+        u_reorder = stream.next_u64()
+        u_jitter = stream.next_u64()
+
+        ge = self.config.burst
+        if ge is not None:
+            if state.ge_bad:
+                if u_state < self._t_b2g:
+                    state.ge_bad = False
+            else:
+                if u_state < self._t_g2b:
+                    state.ge_bad = True
+            drop = state.ge_bad and u_drop < self._t_drop_bad
+        else:
+            drop = u_drop < self._t_drop
+        truncate = u_trunc < self._t_truncate
+        duplicate = u_dup < self._t_dup
+        reorder = u_reorder < self._t_reorder
+        jitter = (u_jitter % (self.config.jitter_ns + 1)
+                  if self.config.jitter_ns > 0 else 0)
+        return drop, truncate, duplicate, reorder, jitter
+
+    def _is_window_update_target(self, state: _EndpointState,
+                                 pdu: bytes) -> bool:
+        """Deterministic targeting of window-reopening pure ACKs.
+
+        Tracks the advertised window per transmitting endpoint; the
+        first ``drop_window_updates`` pure-ACK segments whose window
+        goes 0 → >0 are dropped.
+        """
+        try:
+            tcp = TCPHeader.unpack(pdu[IP_HEADER_LEN:])
+        except Exception:
+            return False
+        payload_len = len(pdu) - IP_HEADER_LEN - tcp.header_length
+        prev = state.last_window
+        state.last_window = tcp.window
+        if self._wud_remaining <= 0:
+            return False
+        if payload_len > 0:
+            return False
+        if tcp.flags & (TCPFlags.SYN | TCPFlags.FIN | TCPFlags.RST):
+            return False
+        if prev == 0 and tcp.window > 0:
+            self._wud_remaining -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _note(self, host, kind: str, args: Optional[dict] = None) -> None:
+        """Count one injected impairment in stats/metrics/trace."""
+        counter = {"drop": "drops", "burst_drop": "burst_drops",
+                   "duplicate": "duplicates", "reorder": "reorders",
+                   "truncate": "truncations",
+                   "window_update_drop": "window_update_drops"}[kind]
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        if host.metrics is not None:
+            host.metrics.inc(f"chaos.{counter}")
+        observer = getattr(host, "observer", None)
+        if observer is not None:
+            observer.emit_instant(
+                observer.pid_for_host(host.name), 9,
+                f"chaos.{kind}", "chaos", host.sim.now, args)
+
+    # ------------------------------------------------------------------
+    # Wire interposition (called by the adapters)
+    # ------------------------------------------------------------------
+    def transmit_atm(self, adapter, peer, delay_ns: int, pdu: bytes,
+                     n_cells: int, wire_fault, data_bearing: bool) -> None:
+        host = adapter.host
+        sim = host.sim
+        state = self._endpoint(host.name)
+        self.stats.packets_seen += 1
+        wud = self._is_window_update_target(state, pdu)
+        drop, truncate, duplicate, reorder, jitter = self._decide(state)
+        if wud:
+            self._note(host, "window_update_drop")
+            return
+        if drop:
+            self._note(host, "burst_drop" if self.config.burst is not None
+                       else "drop", {"cells": n_cells})
+            return
+        if truncate and wire_fault is None and n_cells > 1:
+            # Cut the tail off the real AAL3/4 cell train and let the
+            # actual reassembly framing prove the PDU is damaged (a
+            # missing EOM / short length can never reassemble cleanly).
+            cut = max(1, min(self.config.truncate_cells, n_cells - 1))
+            cells = Aal34Codec.segment(pdu)[:n_cells - cut]
+            try:
+                Aal34Codec.reassemble(cells)
+                detected = False  # unreachable for a tail cut
+            except ReassemblyError:
+                detected = True
+            wire_fault = FaultOutcome("chaos-truncate", 0,
+                                      detected_by_link_check=detected)
+            n_cells -= cut
+            self._note(host, "truncate", {"cells_cut": cut})
+        if reorder:
+            delay_ns += self.config.reorder_delay_ns
+            self._note(host, "reorder")
+        delay_ns += jitter
+        if jitter:
+            self.stats.jitter_total_ns += jitter
+        sim.schedule(delay_ns, peer.deliver, pdu, n_cells, wire_fault,
+                     data_bearing)
+        if duplicate:
+            self._note(host, "duplicate")
+            sim.schedule(delay_ns + self.config.duplicate_gap_ns,
+                         peer.deliver, pdu, n_cells, wire_fault,
+                         data_bearing)
+
+    def transmit_ether(self, adapter, peer, delay_ns: int, pdu: bytes,
+                       wire_fault, data_bearing: bool) -> None:
+        host = adapter.host
+        sim = host.sim
+        state = self._endpoint(host.name)
+        self.stats.packets_seen += 1
+        wud = self._is_window_update_target(state, pdu)
+        drop, truncate, duplicate, reorder, jitter = self._decide(state)
+        if wud:
+            self._note(host, "window_update_drop")
+            return
+        if drop:
+            self._note(host, "burst_drop" if self.config.burst is not None
+                       else "drop", {"bytes": len(pdu)})
+            return
+        if truncate and wire_fault is None and len(pdu) > 1:
+            # Chop the frame tail; the receiver's FCS comparison (the
+            # real crc32 over real bytes) catches the damage.
+            cut = max(1, min(self.config.truncate_bytes, len(pdu) - 1))
+            truncated = pdu[:len(pdu) - cut]
+            detected = crc32(truncated) != crc32(pdu)
+            wire_fault = FaultOutcome("chaos-truncate", 0,
+                                      detected_by_link_check=detected)
+            pdu = truncated
+            self._note(host, "truncate", {"bytes_cut": cut})
+        if reorder:
+            delay_ns += self.config.reorder_delay_ns
+            self._note(host, "reorder")
+        delay_ns += jitter
+        if jitter:
+            self.stats.jitter_total_ns += jitter
+        sim.schedule(delay_ns, peer.deliver, pdu, wire_fault, data_bearing)
+        if duplicate:
+            self._note(host, "duplicate")
+            sim.schedule(delay_ns + self.config.duplicate_gap_ns,
+                         peer.deliver, pdu, wire_fault, data_bearing)

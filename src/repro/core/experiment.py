@@ -159,7 +159,8 @@ def run_round_trip(size: int, network: str = "atm",
                    costs: Optional[MachineCosts] = None,
                    iterations: int = 12, warmup: int = 3,
                    observer=None,
-                   tiebreak: Optional[str] = None) -> RoundTripResult:
+                   tiebreak: Optional[str] = None,
+                   impairments=None) -> RoundTripResult:
     """Build a fresh testbed and run one benchmark point.
 
     Pass *observer* (a :class:`repro.obs.Observer`) to capture the
@@ -169,15 +170,19 @@ def run_round_trip(size: int, network: str = "atm",
     unaffected: hooks never mutate simulator state.  *tiebreak*
     perturbs same-timestamp event ordering for race detection
     (:mod:`repro.analysis.racecheck`); leave it None for the
-    seed-identical FIFO order.
+    seed-identical FIFO order.  *impairments* (a
+    :class:`repro.chaos.Impairments`) injects wire faults; None leaves
+    the run byte-identical to the seed.
     """
     if network == "atm":
         testbed = build_atm_pair(config=config, costs=costs,
-                                 observer=observer, tiebreak=tiebreak)
+                                 observer=observer, tiebreak=tiebreak,
+                                 impairments=impairments)
     elif network == "ethernet":
         testbed = build_ethernet_pair(config=config, costs=costs,
                                       observer=observer,
-                                      tiebreak=tiebreak)
+                                      tiebreak=tiebreak,
+                                      impairments=impairments)
     else:
         raise ValueError(f"unknown network {network!r}")
     bench = RoundTripBenchmark(testbed, size, iterations=iterations,

@@ -53,7 +53,8 @@ def build_atm_pair(config: Optional[KernelConfig] = None,
                    bandwidth_bps: int = 140_000_000,
                    prop_delay_ns: int = 500,
                    observer=None,
-                   tiebreak: Optional[str] = None) -> Testbed:
+                   tiebreak: Optional[str] = None,
+                   impairments=None) -> Testbed:
     """Two workstations with FORE TCA-100s on a private fiber.
 
     With *observer* (a :class:`repro.obs.Observer`), the full
@@ -61,7 +62,9 @@ def build_atm_pair(config: Optional[KernelConfig] = None,
     is wired in before anything runs; without it the testbed is
     unobserved and byte-identical to the seed.  *tiebreak* perturbs the
     simulator's same-timestamp event ordering (race detection only; see
-    :mod:`repro.analysis.racecheck`).
+    :mod:`repro.analysis.racecheck`).  *impairments* (a
+    :class:`repro.chaos.Impairments`, duck-typed to avoid the import)
+    interposes on the wire; ``None`` leaves the path untouched.
     """
     sim, client, server = _make_pair(config, costs, tiebreak)
     link = AtmLink(sim, bandwidth_bps=bandwidth_bps,
@@ -71,6 +74,8 @@ def build_atm_pair(config: Optional[KernelConfig] = None,
     testbed = Testbed(sim, client, server, link)
     if observer is not None:
         observer.attach(testbed)
+    if impairments is not None:
+        impairments.attach(testbed)
     return testbed
 
 
@@ -79,10 +84,12 @@ def build_ethernet_pair(config: Optional[KernelConfig] = None,
                         bandwidth_bps: int = 10_000_000,
                         prop_delay_ns: int = 1000,
                         observer=None,
-                        tiebreak: Optional[str] = None) -> Testbed:
+                        tiebreak: Optional[str] = None,
+                        impairments=None) -> Testbed:
     """Two workstations on a private 10 Mb/s Ethernet.
 
-    *observer* and *tiebreak* work as in :func:`build_atm_pair`.
+    *observer*, *tiebreak* and *impairments* work as in
+    :func:`build_atm_pair`.
     """
     sim, client, server = _make_pair(config, costs, tiebreak)
     link = EthernetLink(sim, bandwidth_bps=bandwidth_bps,
@@ -92,4 +99,6 @@ def build_ethernet_pair(config: Optional[KernelConfig] = None,
     testbed = Testbed(sim, client, server, link)
     if observer is not None:
         observer.attach(testbed)
+    if impairments is not None:
+        impairments.attach(testbed)
     return testbed

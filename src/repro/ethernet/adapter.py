@@ -30,7 +30,7 @@ MIN_FRAME = 64
 
 class EthernetStats:
     __slots__ = ("frames_sent", "frames_received", "bytes_sent",
-                 "bytes_received", "fcs_errors")
+                 "bytes_received", "fcs_errors", "rx_overruns")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -47,6 +47,9 @@ class EthernetLink:
         self.prop_delay_ns = prop_delay_ns
         self.byte_time_ns = int(round(8 * 1e9 / bandwidth_bps))
         self.fault_injector = None
+        #: Chaos impairment layer (repro.chaos), duck-typed; None keeps
+        #: the wire path byte-identical to the seed.
+        self.impairments = None
         self._ends: List["LanceEthernet"] = []
         #: Shared medium: one frame at a time.
         self._medium_free_at = 0
@@ -79,10 +82,21 @@ class LanceEthernet:
 
     mtu = 1500
 
+    #: Receive descriptor ring depth (the LANCE's RX ring).  Frames
+    #: arriving while every descriptor holds an undrained frame are
+    #: dropped with an overrun (MISS/ERR_FRAM).
+    RX_RING_FRAMES = 32
+
     def __init__(self, host):
         self.host = host
         self.link: Optional[EthernetLink] = None
         self.stats = EthernetStats()
+        #: Effective ring depth; clamped by the chaos layer to force
+        #: overruns.  At the default the ring never fills on a
+        #: two-host segment (the 10 Mb/s wire is far slower than the
+        #: driver's drain).
+        self.rx_ring_limit = self.RX_RING_FRAMES
+        self._rx_ring_frames = 0
         self._tx_lock = Semaphore(host.sim, value=1, name="ether-tx")
         #: The LANCE has a single transmit buffer: the driver cannot
         #: copy the next frame until the transmit-done interrupt for the
@@ -144,14 +158,28 @@ class LanceEthernet:
             wire_bytes, wire_fault = link.fault_injector.apply_link(
                 wire_bytes, frame_check=crc32)
         peer = link.peer_of(self)
-        host.sim.schedule(max(0, arrival - host.sim.now), peer.deliver,
-                          wire_bytes, wire_fault, data_bearing)
+        delay_ns = max(0, arrival - host.sim.now)
+        impairments = link.impairments
+        if impairments is None:
+            host.sim.schedule(delay_ns, peer.deliver,
+                              wire_bytes, wire_fault, data_bearing)
+        else:
+            impairments.transmit_ether(self, peer, delay_ns, wire_bytes,
+                                       wire_fault, data_bearing)
 
     # ------------------------------------------------------------------
     # Receive
     # ------------------------------------------------------------------
     def deliver(self, frame_payload: bytes, wire_fault,
                 data_bearing: bool) -> None:
+        if self._rx_ring_frames >= self.rx_ring_limit:
+            # RX ring overrun: no free descriptor, the LANCE drops the
+            # frame.  TCP's retransmission timer recovers.
+            self.stats.rx_overruns += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("ether.rx_overruns")
+            return
+        self._rx_ring_frames += 1
         self.host.sim.process(
             self._rx_interrupt(frame_payload, wire_fault, data_bearing),
             name=f"{self.host.name}:ether-rx",
@@ -169,6 +197,8 @@ class LanceEthernet:
         cost = us(costs.ether_rx_fixed_us
                   + costs.ether_rx_per_byte_us * len(frame_payload))
         yield host.cpu.run(cost, Priority.HARD_INTR, "ether rx copy")
+        # Frame copied out of the adapter: the ring descriptor is free.
+        self._rx_ring_frames -= 1
         span = "rx.ether" if data_bearing else "rx.ack.ether"
         host.tracer.record_value(
             span, (host.sim.now - arrived_at) / 1000.0)
@@ -182,6 +212,9 @@ class LanceEthernet:
             self.stats.fcs_errors += 1
             if host.metrics is not None:
                 host.metrics.inc("ether.fcs_errors")
+            return
+        # ENOBUFS on the mbuf copy: the driver drops the frame (IF_DROP).
+        if not host.pool.admit(len(frame_payload)):
             return
         packet = Packet(frame_payload)
         packet.last_cell_arrival_ns = arrived_at

@@ -21,11 +21,11 @@ layer catch" numbers come from actual error-detection math.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.atm.aal import Aal34Codec, ReassemblyError
+from repro.sim.rng import SplitMix64Stream
 
 __all__ = ["FaultOutcome", "FaultInjector", "FaultStats"]
 
@@ -53,7 +53,7 @@ class FaultStats:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
-def _flip_bits(data: bytes, rng: random.Random, nbits: int) -> bytes:
+def _flip_bits(data: bytes, rng: SplitMix64Stream, nbits: int) -> bytes:
     buf = bytearray(data)
     for _ in range(nbits):
         bit = rng.randrange(len(buf) * 8)
@@ -79,7 +79,11 @@ class FaultInjector:
                 raise ValueError(f"{name} must be a probability, got {p}")
         if bits_per_fault < 1:
             raise ValueError("bits_per_fault must be >= 1")
-        self.rng = random.Random(seed)
+        # Shared seeded-stream convention (repro.sim.rng): same
+        # splitmix64 family as Simulator(tiebreak=...) and the chaos
+        # impairment layer, so every stochastic model in the repo is
+        # reproducible from one integer seed.
+        self.rng = SplitMix64Stream(seed, label="faults")
         self.p_link = p_link
         self.p_controller = p_controller
         self.p_gateway = p_gateway

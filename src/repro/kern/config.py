@@ -86,6 +86,9 @@ class KernelConfig:
     #: Socket buffer sizes (BSD 4.4 defaults).
     sendspace: int = 8192 * 2
     recvspace: int = 8192 * 2
+    #: How long ``sosend`` sleeps in ``m_wait`` before retrying when the
+    #: mbuf pool is exhausted (only reachable with an MbufPool limit).
+    mbuf_wait_us: float = 1_000.0
 
     def with_overrides(self, **kwargs) -> "KernelConfig":
         """A copy with some fields replaced."""

@@ -42,11 +42,15 @@ class SoftNet:
         #: sections between the softint and process contexts.
         self.splnet = None
         self._queue: Deque[Packet] = deque()
+        #: Effective queue limit.  Defaults to BSD's ipqmaxlen; the
+        #: chaos impairment layer clamps it mid-run to force overflow
+        #: drops without touching the class-level constant.
+        self.ipq_limit = self.IPQ_MAX
         self._pending = False
-        #: Datagrams accepted onto the queue; with `dispatched`,
-        #: `dropped_full` and `queue_length` this makes the IPQ
-        #: conservation invariant checkable
-        #: (repro.analysis.invariants.check_ipq_conservation).
+        #: Datagrams presented to the queue (accepted *or* dropped on
+        #: overflow); with `dispatched`, `dropped_full` and
+        #: `queue_length` this makes the IPQ conservation invariant
+        #: checkable (repro.analysis.invariants.check_ipq_conservation).
         self.enqueued = 0
         self.dispatched = 0
         self.dropped_full = 0
@@ -63,7 +67,10 @@ class SoftNet:
         Called synchronously from a device interrupt handler; costs of
         the enqueue itself are part of the driver's receive cost.
         """
-        if len(self._queue) >= self.IPQ_MAX:
+        self.enqueued += 1
+        if self.metrics is not None:
+            self.metrics.inc("ipq.enqueued")
+        if len(self._queue) >= self.ipq_limit:
             # IP input queue overflow: silently dropped, as in BSD.
             self.dropped_full += 1
             if self.metrics is not None:
@@ -71,9 +78,7 @@ class SoftNet:
             return
         packet.enqueued_ipq_at = self.sim.now
         self._queue.append(packet)
-        self.enqueued += 1
         if self.metrics is not None:
-            self.metrics.inc("ipq.enqueued")
             self.metrics.set_max("ipq.depth_max", len(self._queue))
         if not self._pending:
             self._pending = True

@@ -33,6 +33,7 @@ __all__ = [
     "MbufChain",
     "MbufPool",
     "MbufError",
+    "MbufExhausted",
 ]
 
 #: Data bytes in a normal mbuf (paper §2.2.1: "normal mbufs hold only
@@ -51,6 +52,17 @@ Buffer = Union[bytes, bytearray, memoryview]
 
 class MbufError(Exception):
     """Mbuf misuse (double free, over-capacity store, ...)."""
+
+
+class MbufExhausted(MbufError):
+    """Allocation denied: the pool's capacity limit is reached.
+
+    This is the simulated kernel's ENOBUFS: real BSD ``MGET`` fails
+    once ``mbstat.m_mbufs`` hits the map limit, ``tcp_output`` returns
+    ENOBUFS, drivers drop the incoming datagram, and ``sosend`` blocks
+    in ``m_wait``.  Callers on those paths catch this and recover; a
+    pool with no ``limit`` configured (the default) never raises it.
+    """
 
 
 class ClusterStorage:
@@ -217,11 +229,19 @@ class MbufPool:
     use-after-free detection still fires for retained references.
     """
 
-    def __init__(self, costs) -> None:
+    def __init__(self, costs, limit: Optional[int] = None) -> None:
         self.costs = costs
+        #: Optional capacity cap in mbufs (normal + cluster alike).
+        #: ``None`` (the default) keeps the historical unbounded
+        #: behaviour; when set, allocations beyond the cap raise
+        #: :class:`MbufExhausted` and bump :attr:`denied`.
+        self.limit = limit
         self.allocated = 0
         self.freed = 0
         self.cluster_allocated = 0
+        #: Allocations (or admission checks) refused by :attr:`limit`;
+        #: exported as ``mbuf.denied`` when a metrics scope is attached.
+        self.denied = 0
         self.high_water = 0
         #: Free-list bookkeeping: headers handed back out instead of
         #: freshly constructed.  Exported as ``mbuf.allocations`` /
@@ -267,16 +287,63 @@ class MbufPool:
         return self.allocated - self.freed
 
     # ------------------------------------------------------------------
+    # Capacity limit (ENOBUFS)
+    # ------------------------------------------------------------------
+    def _check_limit(self, extra: int = 1) -> None:
+        limit = self.limit
+        if limit is not None and self.in_use + extra > limit:
+            self.denied += 1
+            if self.metrics is not None:
+                self.metrics.inc("mbuf.denied")
+            raise MbufExhausted(
+                f"pool limit {limit} reached "
+                f"({self.in_use} in use, {extra} requested)")
+
+    def can_admit(self, nbytes: int,
+                  use_clusters: Optional[bool] = None) -> bool:
+        """Whether a *nbytes* chain fits under the limit right now.
+
+        Pure check — no counters move.  Callers that must not tear
+        half-built state down on ENOBUFS (TCP's receive append) test
+        this *before* committing.
+        """
+        limit = self.limit
+        if limit is None:
+            return True
+        if use_clusters is None:
+            use_clusters = nbytes > CLUSTER_THRESHOLD
+        needed = len(self.chunk_sizes(nbytes, use_clusters))
+        return self.in_use + needed <= limit
+
+    def admit(self, nbytes: int,
+              use_clusters: Optional[bool] = None) -> bool:
+        """Counting admission check for driver receive paths.
+
+        Like :meth:`can_admit`, but a refusal is recorded in
+        :attr:`denied` / the ``mbuf.denied`` metric — this is the
+        IF_DROP a real driver takes when ``MGET`` fails for an
+        incoming datagram.
+        """
+        if self.can_admit(nbytes, use_clusters):
+            return True
+        self.denied += 1
+        if self.metrics is not None:
+            self.metrics.inc("mbuf.denied")
+        return False
+
+    # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
     def alloc(self, data: Buffer = b"") -> Tuple[Mbuf, int]:
         """Allocate a normal mbuf holding *data*; returns (mbuf, cost_ns)."""
+        self._check_limit()
         mbuf = self._reuse_or_new(data, None)
         self._count_alloc(cluster=False)
         return mbuf, self.costs.mbuf_alloc_ns()
 
     def alloc_cluster(self, data: Buffer) -> Tuple[Mbuf, int]:
         """Allocate a cluster mbuf holding *data*; returns (mbuf, cost_ns)."""
+        self._check_limit()
         mbuf = self._reuse_or_new(b"", ClusterStorage(bytes(data)))
         self._count_alloc(cluster=True)
         return mbuf, self.costs.mbuf_alloc_ns()
@@ -359,15 +426,21 @@ class MbufPool:
         chain = MbufChain()
         cost = 0
         offset = 0
-        for size in chunk_sizes:
-            chunk = data[offset:offset + size]
-            if (use_clusters or size > MBUF_DATA_SIZE) and size > 0:
-                mbuf, c = self.alloc_cluster(chunk)
-            else:
-                mbuf, c = self.alloc(chunk)
-            chain.append(mbuf)
-            cost += c
-            offset += size
+        try:
+            for size in chunk_sizes:
+                chunk = data[offset:offset + size]
+                if (use_clusters or size > MBUF_DATA_SIZE) and size > 0:
+                    mbuf, c = self.alloc_cluster(chunk)
+                else:
+                    mbuf, c = self.alloc(chunk)
+                chain.append(mbuf)
+                cost += c
+                offset += size
+        except MbufExhausted:
+            # ENOBUFS mid-copy: release the partial chain so the pool's
+            # conservation (allocated == freed + in_use) still holds.
+            self.free_chain(chain)
+            raise
         return chain, cost
 
     # ------------------------------------------------------------------
@@ -386,33 +459,42 @@ class MbufPool:
         """
         new_chain = MbufChain()
         cost = _us(self.costs.m_copy_fixed_us)
-        for mbuf, start, take in chain.mbufs_spanning(offset, length):
-            if mbuf.is_cluster and start == 0 and take == len(mbuf):
-                # Reference-counted share of the whole page.
-                shared = Mbuf(cluster=mbuf.cluster.ref())
-                shared.partial_sum = mbuf.partial_sum
-                self._count_alloc(cluster=True)
-                cost += _us(self.costs.cluster_ref_us)
-                new_chain.append(shared)
-            elif mbuf.is_cluster:
-                # Partial cluster reference: BSD shares the page and
-                # records an offset; we copy the slice view (the page is
-                # immutable here) but charge only the header allocation.
-                shared = Mbuf(cluster=ClusterStorage(
-                    mbuf.data[start:start + take]))
-                self._count_alloc(cluster=True)
-                cost += _us(self.costs.cluster_ref_us)
-                new_chain.append(shared)
-            else:
-                piece = mbuf.data[start:start + take]
-                copied, alloc_cost = self.alloc(piece)
-                copied.partial_sum = (
-                    mbuf.partial_sum if start == 0 and take == len(mbuf)
-                    else None
-                )
-                cost += alloc_cost
-                cost += self.costs.copy_mbuf_mbuf.ns(take)
-                new_chain.append(copied)
+        try:
+            for mbuf, start, take in chain.mbufs_spanning(offset, length):
+                if mbuf.is_cluster and start == 0 and take == len(mbuf):
+                    # Reference-counted share of the whole page.
+                    self._check_limit()
+                    shared = Mbuf(cluster=mbuf.cluster.ref())
+                    shared.partial_sum = mbuf.partial_sum
+                    self._count_alloc(cluster=True)
+                    cost += _us(self.costs.cluster_ref_us)
+                    new_chain.append(shared)
+                elif mbuf.is_cluster:
+                    # Partial cluster reference: BSD shares the page and
+                    # records an offset; we copy the slice view (the page is
+                    # immutable here) but charge only the header allocation.
+                    self._check_limit()
+                    shared = Mbuf(cluster=ClusterStorage(
+                        mbuf.data[start:start + take]))
+                    self._count_alloc(cluster=True)
+                    cost += _us(self.costs.cluster_ref_us)
+                    new_chain.append(shared)
+                else:
+                    piece = mbuf.data[start:start + take]
+                    copied, alloc_cost = self.alloc(piece)
+                    copied.partial_sum = (
+                        mbuf.partial_sum if start == 0 and take == len(mbuf)
+                        else None
+                    )
+                    cost += alloc_cost
+                    cost += self.costs.copy_mbuf_mbuf.ns(take)
+                    new_chain.append(copied)
+        except MbufExhausted:
+            # ENOBUFS mid-copy: tcp_output sees the failure, drops this
+            # transmit attempt, and leaves the data for the rexmt timer.
+            # Free what we built so mbuf conservation holds.
+            self.free_chain(new_chain)
+            raise
         return new_chain, cost
 
     # ------------------------------------------------------------------

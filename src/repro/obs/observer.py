@@ -260,6 +260,11 @@ class Observer:
                 for field in host.tcp.stats.__slots__:
                     scoped.set_gauge(f"tcpstat.{field}",
                                      getattr(host.tcp.stats, field))
+            impairments = getattr(tb.link, "impairments", None)
+            if impairments is not None:
+                # Injected-impairment totals (link-wide, not per host).
+                for name, value in impairments.stats.as_dict().items():
+                    self.metrics.set_gauge(f"chaos.{name}", value)
 
     def merge_spans(self, host_name: str,
                     snapshot: Dict[str, dict]) -> None:

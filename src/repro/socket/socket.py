@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.kern.config import ChecksumMode
-from repro.mem.mbuf import CLUSTER_THRESHOLD, MbufChain
+from repro.mem.mbuf import CLUSTER_THRESHOLD, MbufChain, MbufExhausted
 from repro.checksum.internet import raw_sum
 from repro.tcp.partials import chunk_partial_sums
 from repro.sim.cpu import Priority
@@ -119,17 +119,37 @@ class Socket:
                 self._raise_if_cannot_send()
                 yield from self.host.scheduler.sleep(self.snd_channel)
                 continue
+            take = min(len(remaining), self.so_snd.space)
+            if not self.host.pool.can_admit(take):
+                # ENOBUFS: sosend sleeps in m_wait and retries rather
+                # than failing the write.  The section must be released
+                # first so the receive path can free mbufs meanwhile.
+                self.host.splnet_release()
+                self._raise_if_cannot_send()
+                yield self.host.sim.timeout(
+                    us(self.host.config.mbuf_wait_us))
+                continue
+            wait_enobufs = False
             try:
                 self._raise_if_cannot_send()
-                take = min(len(remaining), self.so_snd.space)
-                yield from self._sosend_copyin(bytes(remaining[:take]),
-                                               token)
-                token = None  # the span covers the first chunk only
-                remaining = remaining[take:]
-                yield from self.conn.output(Priority.KERNEL)
-                self.conn.end_output_call()
+                try:
+                    yield from self._sosend_copyin(bytes(remaining[:take]),
+                                                   token)
+                    token = None  # the span covers the first chunk only
+                    remaining = remaining[take:]
+                except MbufExhausted:
+                    # Lost the last mbufs between the admission check
+                    # and the copy (predicted chunking can need more
+                    # headers than the default policy): m_wait again.
+                    wait_enobufs = True
+                if not wait_enobufs:
+                    yield from self.conn.output(Priority.KERNEL)
+                    self.conn.end_output_call()
             finally:
                 self.host.splnet_release()
+            if wait_enobufs:
+                yield self.host.sim.timeout(
+                    us(self.host.config.mbuf_wait_us))
         yield from self._charge_syscall_exit()
         return len(data)
 

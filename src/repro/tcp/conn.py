@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional, TYPE_CHECKING
 
+from repro.mem.mbuf import MbufExhausted
 from repro.net.headers import IPHeader, TCPFlags, TCPHeader
 from repro.net.packet import Packet, build_tcp_packet
 from repro.sim.cpu import Priority
@@ -67,6 +68,7 @@ class ConnectionStats:
         "fast_path_hits", "fast_path_data_hits", "fast_path_ack_hits",
         "retransmits", "dup_segments", "out_of_order", "cksum_errors",
         "partial_cksum_hits", "partial_cksum_misses", "delayed_acks_fired",
+        "persist_probes", "rtx_shift_max", "mbuf_drops",
     )
 
     def __init__(self) -> None:
@@ -242,7 +244,17 @@ class TCPConnection:
                 send = True
             if not send:
                 break
-            yield from self._emit_segment(length, off, fin_now, priority)
+            try:
+                yield from self._emit_segment(length, off, fin_now, priority)
+            except MbufExhausted:
+                # ENOBUFS from the retransmission copy: BSD's tcp_output
+                # abandons the attempt and leaves the data in the socket
+                # buffer; the rexmt timer retries once mbufs free up.
+                # (m_copy raises before any sequence state moved.)
+                self.stats.mbuf_drops += 1
+                if self.snd_una != self.snd_max or length > 0:
+                    self._start_rtx_timer()
+                break
             sent += 1
             if not sendalot and not self.ack_now and not (
                     self.fin_pending and not self.fin_sent):
@@ -516,6 +528,12 @@ class TCPConnection:
             self.end_output_call()
             return
         self.stats.fast_path_data_hits += 1
+        if not self.host.pool.can_admit(len(payload)):
+            # ENOBUFS on sbappend: checked *before* rcv_nxt moves, so
+            # the segment is dropped as if lost and the peer's rexmt
+            # recovers without losing bytes.
+            self.stats.mbuf_drops += 1
+            return
         self.rcv_nxt = seq_add(self.rcv_nxt, len(payload))
         self._append_receive_data(payload)
         self._note_delack()
@@ -583,10 +601,14 @@ class TCPConnection:
                 span=self._span("tcp.segment", len(payload), "rx"))
             if self.state is TCPState.CLOSED:
                 return
-        if tcp_hdr.window:
+        if flags & TCPFlags.ACK:
+            # Take the advertised window even when it is zero: a closed
+            # window must reach snd_wnd or output() keeps pushing into
+            # it and the persist machinery below never engages.
             self.snd_wnd = tcp_hdr.window
             self.max_sndwnd = max(self.max_sndwnd, tcp_hdr.window)
-            self._cancel_persist_timer()
+            if tcp_hdr.window:
+                self._cancel_persist_timer()
 
         # Data processing.
         if data and self.state.can_receive_data:
@@ -599,14 +621,24 @@ class TCPConnection:
                 fin = False  # anything beyond the window cut the FIN off
                 self.ack_now = True
         if data and self.state.can_receive_data:
-            if seq == self.rcv_nxt:
+            if seq == self.rcv_nxt and not self.host.pool.can_admit(
+                    len(data)):
+                # ENOBUFS on sbappend (checked before rcv_nxt moves):
+                # drop the segment as if lost; the peer retransmits.
+                self.stats.mbuf_drops += 1
+            elif seq == self.rcv_nxt:
                 self.rcv_nxt = seq_add(self.rcv_nxt, len(data))
                 self._append_receive_data(data)
                 if not self.reassembly.empty:
-                    drained, self.rcv_nxt = self.reassembly.drain(
-                        self.rcv_nxt)
-                    if drained:
+                    drained, new_nxt = self.reassembly.drain(self.rcv_nxt)
+                    if drained and self.host.pool.can_admit(len(drained)):
+                        self.rcv_nxt = new_nxt
                         self._append_receive_data(drained)
+                    elif drained:
+                        # No room to append the drained run: put it back
+                        # so rcv_nxt and the queue stay consistent.
+                        self.stats.mbuf_drops += 1
+                        self.reassembly.insert(self.rcv_nxt, drained)
                 self._note_delack()
                 yield from self.host.scheduler.wakeup(
                     self.socket.rcv_channel, priority)
@@ -893,6 +925,8 @@ class TCPConnection:
     def _rtx_fire(self) -> None:
         self._rtx_timer = None
         self._rtx_shift += 1
+        self.stats.rtx_shift_max = max(self.stats.rtx_shift_max,
+                                       self._rtx_shift)
         if self._rtx_shift > MAX_RTX_SHIFT:
             self._drop_connection(
                 ConnectionTimedOut("retransmission limit reached"))
@@ -966,6 +1000,7 @@ class TCPConnection:
 
         def probe():
             self.t_force = True
+            self.stats.persist_probes += 1
             yield from self.output(Priority.SOFT_INTR)
             self.end_output_call()
             self._start_persist_timer()

@@ -1,0 +1,138 @@
+"""The impairment engine: determinism, transparency, each fault kind."""
+
+import pytest
+
+from repro.chaos import (
+    GilbertElliott,
+    ImpairmentConfig,
+    Impairments,
+    ResourceClamp,
+    run_chaos_cell,
+)
+from repro.core.experiment import RoundTripBenchmark
+from repro.core.packetlog import attach_packet_log
+from repro.core.testbed import build_atm_pair
+
+
+def _echo_log_lines(impairments):
+    """Packet log of a small echo run, optionally impaired."""
+    testbed = build_atm_pair(impairments=impairments)
+    log = attach_packet_log(testbed)
+    bench = RoundTripBenchmark(testbed, 1400, iterations=3, warmup=1)
+    result = bench.run()
+    return log.format().splitlines(), list(result.rtt_us)
+
+
+class TestTransparencyAndDeterminism:
+    def test_zero_impairment_is_byte_identical(self):
+        """An attached engine with nothing to inject must not change a
+        single packet or timestamp relative to no engine at all."""
+        baseline_lines, baseline_rtts = _echo_log_lines(None)
+        idle = Impairments(ImpairmentConfig(seed=42))
+        lines, rtts = _echo_log_lines(idle)
+        assert lines == baseline_lines
+        assert rtts == baseline_rtts
+        assert idle.stats.packets_seen > 0
+        assert idle.stats.drops == 0
+
+    def test_same_seed_same_run(self):
+        a = run_chaos_cell(size=1400, loss=0.05, seed=11, iterations=4)
+        b = run_chaos_cell(size=1400, loss=0.05, seed=11, iterations=4)
+        assert a.log_lines == b.log_lines
+        assert a.counters == b.counters
+        assert a.rtt_us == b.rtt_us
+
+    def test_different_seed_different_faults(self):
+        runs = [run_chaos_cell(size=1400, loss=0.08, seed=s,
+                               iterations=6)
+                for s in (1, 2, 3, 4)]
+        logs = {tuple(r.log_lines) for r in runs}
+        assert len(logs) > 1, "seed must steer the injected faults"
+
+
+class TestFaultKinds:
+    def test_total_loss_is_detected_not_hung(self):
+        cell = run_chaos_cell(size=200, loss=1.0, seed=5, iterations=2)
+        assert not cell.ok
+        assert cell.injected["drops"] > 0
+        assert any("deadlock" in v or "benchmark-error" in v
+                   for v in cell.violations)
+
+    def test_duplication_is_absorbed(self):
+        cfg = ImpairmentConfig(seed=9, p_duplicate=1.0)
+        cell = run_chaos_cell(size=1400, iterations=4,
+                              impairment_config=cfg)
+        assert cell.ok, cell.violations
+        assert cell.injected["duplicates"] > 0
+        assert cell.echo_errors == 0
+
+    def test_jitter_and_reorder_preserve_order_delivery(self):
+        cfg = ImpairmentConfig(seed=13, p_reorder=0.3, jitter_ns=40_000)
+        cell = run_chaos_cell(size=1400, iterations=4,
+                              impairment_config=cfg)
+        assert cell.ok, cell.violations
+        assert cell.injected["reorders"] > 0
+        assert cell.injected["jitter_total_ns"] > 0
+
+    def test_truncation_hits_real_reassembly(self):
+        cfg = ImpairmentConfig(seed=21, p_truncate=0.10,
+                               truncate_cells=2)
+        cell = run_chaos_cell(size=8000, iterations=4,
+                              impairment_config=cfg)
+        assert cell.injected["truncations"] > 0
+        assert cell.ok, cell.violations
+
+    def test_burst_model_uses_burst_counter(self):
+        cfg = ImpairmentConfig(
+            seed=3, burst=GilbertElliott(p_good_to_bad=0.2,
+                                         p_bad_to_good=0.2,
+                                         p_drop_bad=0.8))
+        cell = run_chaos_cell(size=1400, iterations=8,
+                              impairment_config=cfg)
+        assert cell.injected["burst_drops"] > 0
+        assert cell.injected["drops"] == 0
+        assert cell.ok, cell.violations
+
+
+class TestResourceClamps:
+    def test_ipq_clamp_forces_overflow_drops(self):
+        clamp = ResourceClamp(resource="ipq", host="server", limit=0,
+                              start_ns=1_000_000, duration_ns=20_000_000)
+        cfg = ImpairmentConfig(seed=1, clamps=(clamp,))
+        cell = run_chaos_cell(size=1400, iterations=4,
+                              impairment_config=cfg)
+        assert cell.counters["server.ipq.dropped"] > 0
+        assert cell.ok, cell.violations
+
+    def test_rx_clamp_forces_fifo_overruns(self):
+        clamp = ResourceClamp(resource="rx", host="server", limit=0,
+                              start_ns=1_000_000, duration_ns=20_000_000)
+        cfg = ImpairmentConfig(seed=1, clamps=(clamp,))
+        cell = run_chaos_cell(size=1400, iterations=4,
+                              impairment_config=cfg)
+        assert cell.counters["server.iface.rx_fifo_overflows"] > 0
+        assert cell.ok, cell.violations
+
+    def test_mbuf_clamp_forces_enobufs(self):
+        clamp = ResourceClamp(resource="mbuf", host="server", limit=0,
+                              start_ns=1_000_000, duration_ns=20_000_000)
+        cfg = ImpairmentConfig(seed=1, clamps=(clamp,))
+        cell = run_chaos_cell(size=1400, iterations=4,
+                              impairment_config=cfg)
+        assert cell.counters["server.mbuf.denied"] > 0
+        assert cell.ok, cell.violations
+
+    def test_clamp_unknown_host_rejected(self):
+        clamp = ResourceClamp(resource="ipq", host="nope", limit=0,
+                              start_ns=0, duration_ns=1)
+        with pytest.raises(ValueError, match="unknown host"):
+            build_atm_pair(impairments=Impairments(
+                ImpairmentConfig(clamps=(clamp,))))
+
+
+class TestConfigValidation:
+    def test_probability_range_checked(self):
+        with pytest.raises(ValueError, match="p_drop"):
+            ImpairmentConfig(p_drop=1.5)
+        with pytest.raises(ValueError, match="p_truncate"):
+            ImpairmentConfig(p_truncate=-0.1)
