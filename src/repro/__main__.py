@@ -9,12 +9,22 @@ Observability subcommands (see :mod:`repro.obs` and the README's
 "Observability" section):
 
 * ``python -m repro trace <target> [--out FILE] [--jsonl FILE]
-  [--size N] [--iterations N]`` — run one observed round-trip
-  experiment and export a Chrome ``trace_event`` JSON (open it in
-  ``chrome://tracing`` or https://ui.perfetto.dev) and optionally a
-  JSONL event stream.
-* ``python -m repro metrics [target] [--size N] [--iterations N]`` —
-  same run, but print the plain-text metrics/spans dump.
+  [--flow FILE] [--size N] [--iterations N]`` — run one observed
+  round-trip experiment and export a Chrome ``trace_event`` JSON (open
+  it in ``chrome://tracing`` or https://ui.perfetto.dev), optionally a
+  JSONL event stream, and optionally the per-connection flow-telemetry
+  JSONL (``--flow`` also turns on causal lineage tracing).
+* ``python -m repro metrics [target] [--size N] [--iterations N]
+  [--format text|csv]`` — same run, but print the metrics/spans dump
+  (plain text, or flat CSV for spreadsheets/pandas).
+* ``python -m repro explain [target] [--size N] [--iterations N]
+  [--rtt K] [--out FILE]`` — trace causal packet lineage through one
+  run and render the K-th round trip as a per-layer waterfall whose
+  rows sum exactly to the measured RTT (``--out`` writes the single
+  RTT as a Chrome trace).  ``repro explain --diff A B`` compares two
+  targets' attribution profiles and names the layer that ate the
+  difference (targets are trace targets plus ``impaired``, a
+  fixed-seed lossy link).
 * ``python -m repro --list`` — enumerate every runnable section and
   trace target (used by CI).
 
@@ -294,19 +304,22 @@ TRACE_TARGETS = {
 
 
 def _parse_obs_args(args, default_size=8000, default_iters=4):
-    """Parse ``[target] [--out F] [--jsonl F] [--size N] [--iterations N]``."""
-    opts = {"target": None, "out": None, "jsonl": None,
-            "size": default_size, "iterations": default_iters}
+    """Parse ``[target] [--out F] [--jsonl F] [--flow F] [--size N]
+    [--iterations N] [--format FMT] [--rtt K]``."""
+    opts = {"target": None, "out": None, "jsonl": None, "flow": None,
+            "size": default_size, "iterations": default_iters,
+            "format": "text", "rtt": 0}
     i = 0
     while i < len(args):
         arg = args[i]
-        if arg in ("--out", "--jsonl", "--size", "--iterations"):
+        if arg in ("--out", "--jsonl", "--flow", "--size",
+                   "--iterations", "--format", "--rtt"):
             if i + 1 >= len(args):
                 raise ValueError(f"{arg} needs a value")
             value = args[i + 1]
             key = arg[2:]
-            opts[key] = int(value) if key in ("size", "iterations") \
-                else value
+            opts[key] = int(value) if key in ("size", "iterations",
+                                              "rtt") else value
             i += 2
         elif arg.startswith("-"):
             raise ValueError(f"unknown option {arg}")
@@ -318,14 +331,14 @@ def _parse_obs_args(args, default_size=8000, default_iters=4):
     return opts
 
 
-def _observed_run(target, size, iterations):
+def _observed_run(target, size, iterations, lineage=False, flow=False):
     """Run one observed round-trip experiment; returns the observer."""
     from repro.core.experiment import run_round_trip
     from repro.obs import Observer
 
     network, overrides = TRACE_TARGETS[target]
     config = KernelConfig(**overrides) if overrides else None
-    observer = Observer()
+    observer = Observer(lineage=lineage, flow=flow)
     result = run_round_trip(size=size, network=network, config=config,
                             iterations=iterations, warmup=1,
                             observer=observer)
@@ -345,8 +358,10 @@ def cmd_trace(args) -> int:
         print(f"unknown trace target {target!r}")
         print(f"available: {' '.join(TRACE_TARGETS)}")
         return 2
+    want_flow = bool(opts["flow"])
     observer, result = _observed_run(target, opts["size"],
-                                     opts["iterations"])
+                                     opts["iterations"],
+                                     lineage=want_flow, flow=want_flow)
     out = opts["out"] or f"{target}.trace.json"
     n_events = write_chrome_trace(observer, out)
     print(f"trace {target}: size={result.size} "
@@ -356,12 +371,16 @@ def cmd_trace(args) -> int:
     if opts["jsonl"]:
         n_lines = write_jsonl(observer, opts["jsonl"])
         print(f"{n_lines} JSONL records -> {opts['jsonl']}")
+    if opts["flow"]:
+        n_samples = observer.flow.write_jsonl(opts["flow"],
+                                              measured_only=False)
+        print(f"{n_samples} flow samples -> {opts['flow']}")
     return 0
 
 
 def cmd_metrics(args) -> int:
-    """``python -m repro metrics [target]`` — text metrics dump."""
-    from repro.obs import metrics_text
+    """``python -m repro metrics [target]`` — metrics dump (text/CSV)."""
+    from repro.obs import metrics_csv, metrics_text
     try:
         opts = _parse_obs_args(args, default_size=1400)
     except ValueError as error:
@@ -372,12 +391,95 @@ def cmd_metrics(args) -> int:
         print(f"unknown metrics target {target!r}")
         print(f"available: {' '.join(TRACE_TARGETS)}")
         return 2
+    if opts["format"] not in ("text", "csv"):
+        print(f"metrics: unknown format {opts['format']!r} "
+              f"(want text or csv)")
+        return 2
     observer, result = _observed_run(target, opts["size"],
                                      opts["iterations"])
+    if opts["format"] == "csv":
+        print(metrics_csv(observer))
+        return 0
     print(f"# {target}: size={result.size} "
           f"mean_rtt={result.mean_rtt_us:.1f}us "
           f"iterations={result.iterations}")
     print(metrics_text(observer))
+    return 0
+
+
+def _traced_target(name, size, iterations):
+    """Build the traced run behind an ``explain`` target name."""
+    from repro.obs.explain import run_traced
+
+    if name == "impaired":
+        # A fixed-seed lossy ATM link: the canonical diff partner for
+        # any clean baseline target.
+        from repro.chaos import ImpairmentConfig, Impairments
+
+        impairments = Impairments(ImpairmentConfig(seed=1994,
+                                                   p_drop=0.15))
+        return run_traced(size=size, network="atm",
+                          iterations=iterations,
+                          impairments=impairments, label=name)
+    network, overrides = TRACE_TARGETS[name]
+    config = KernelConfig(**overrides) if overrides else None
+    return run_traced(size=size, network=network, config=config,
+                      iterations=iterations, label=name)
+
+
+def cmd_explain(args) -> int:
+    """``python -m repro explain [target] [--rtt K] [--out FILE]`` or
+    ``python -m repro explain --diff A B [--size N] ...``."""
+    from repro.obs.explain import explain_rtt, format_diff, \
+        write_rtt_trace
+
+    diff_pair = None
+    rest = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--diff":
+            if i + 2 >= len(args):
+                print("explain: --diff needs two target names")
+                return 2
+            diff_pair = (args[i + 1], args[i + 2])
+            i += 3
+        else:
+            rest.append(args[i])
+            i += 1
+    try:
+        opts = _parse_obs_args(rest, default_size=1400)
+    except ValueError as error:
+        print(f"explain: {error}")
+        return 2
+    known = list(TRACE_TARGETS) + ["impaired"]
+    if diff_pair is not None:
+        bad = [t for t in diff_pair if t not in known]
+        if bad:
+            print(f"unknown explain target(s): {' '.join(bad)}")
+            print(f"available: {' '.join(known)}")
+            return 2
+        run_a = _traced_target(diff_pair[0], opts["size"],
+                               opts["iterations"])
+        run_b = _traced_target(diff_pair[1], opts["size"],
+                               opts["iterations"])
+        print(format_diff(run_a, run_b))
+        return 0
+    target = opts["target"] or "table1"
+    if target not in known:
+        print(f"unknown explain target {target!r}")
+        print(f"available: {' '.join(known)}")
+        return 2
+    run = _traced_target(target, opts["size"], opts["iterations"])
+    try:
+        explanation = explain_rtt(run, index=opts["rtt"])
+    except ValueError as error:
+        print(f"explain: {error}")
+        return 2
+    print(explanation.format())
+    if opts["out"]:
+        n_events = write_rtt_trace(explanation, opts["out"])
+        print(f"\n{n_events} trace events -> {opts['out']} "
+              f"(open in ui.perfetto.dev)")
     return 0
 
 
@@ -628,6 +730,8 @@ def main(argv) -> int:
         return cmd_trace(args[1:])
     if args and args[0] == "metrics":
         return cmd_metrics(args[1:])
+    if args and args[0] == "explain":
+        return cmd_explain(args[1:])
     if args and args[0] == "lint":
         return cmd_lint(args[1:])
     if args and args[0] == "racecheck":
@@ -640,8 +744,8 @@ def main(argv) -> int:
     unknown = [n for n in names if n not in SECTIONS]
     if unknown:
         print(f"unknown section(s): {', '.join(unknown)}")
-        print(f"available: {' '.join(SECTIONS)} trace metrics lint "
-              f"racecheck bench chaos --list "
+        print(f"available: {' '.join(SECTIONS)} trace metrics explain "
+              f"lint racecheck bench chaos --list "
               f"[--parallel N] [--no-cache]")
         return 2
     for i, name in enumerate(names):

@@ -162,7 +162,7 @@ class ForeTca100:
         # CPU work in the caller's context; the span ends when the last
         # byte has been handed to the adapter (paper §2.2).
         yield from self.host.charge(driver_busy_ns, priority, "atm tx copy",
-                                    span=span)
+                                    span=span, lineage=packet.lineage)
 
         # Wire delivery: the last cell reaches the peer a propagation
         # delay after it finishes clocking out.  Under CPU preemption the
@@ -172,6 +172,16 @@ class ForeTca100:
         last_arrival = max(analytic_last_arrival,
                            sim.now + link.cell_time_ns + link.prop_delay_ns)
         self._wire_free_at = last_arrival - link.prop_delay_ns
+
+        if packet.lineage is not None:
+            # The wire span: first cell starts clocking out while the
+            # driver copy loop is still running — the TCA-100 overlap the
+            # paper's timeline figures show.
+            wire_start = depart[1] - link.cell_time_ns
+            packet.lineage.add(
+                "wire.atm" if data_bearing else "wire.ack.atm",
+                "wire", wire_start, last_arrival,
+                (last_arrival - wire_start) / 1000.0)
 
         self.stats.packets_sent += 1
         self.stats.cells_sent += n
@@ -221,6 +231,8 @@ class ForeTca100:
             self.stats.rx_fifo_overflows += 1
             if self.host.metrics is not None:
                 self.host.metrics.inc("atm.rx_fifo_overflows")
+            if self.host.lineage is not None:
+                self.host.lineage.mark_dropped_pdu(pdu, "rx-fifo-overflow")
             return
         self.host.sim.process(
             self._rx_interrupt(pdu, n_cells, wire_fault, data_bearing),
@@ -253,8 +265,18 @@ class ForeTca100:
             host.metrics.inc("atm.cells_received", n_cells)
 
         span = "rx.atm" if data_bearing else "rx.ack.atm"
-        host.tracer.record_value(
-            span, (host.sim.now - arrived_at) / 1000.0)
+        wait_us = (host.sim.now - arrived_at) / 1000.0
+        host.tracer.record_value(span, wait_us)
+        lin = host.lineage
+        seg_rec = None
+        if lin is not None:
+            # Re-attach the sender's causal record (shared recorder,
+            # keyed by the IP ident) and log the interrupt+drain span.
+            seg_rec = lin.match_pdu(pdu)
+            if seg_rec is not None:
+                seg_rec.rx_host = host.name
+                seg_rec.add(span, host.name, arrived_at, host.sim.now,
+                            wait_us)
 
         # AAL3/4 error detection: the adapter checks per-cell CRC-10s
         # and CPCS framing in hardware.  A wire fault the CRCs caught
@@ -264,15 +286,20 @@ class ForeTca100:
             self.stats.aal_errors += 1
             if host.metrics is not None:
                 host.metrics.inc("atm.aal_errors")
+            if lin is not None:
+                lin.mark_dropped(seg_rec, "aal")
             return
 
         # The drained cells are copied into mbufs here; if the pool's
         # cap leaves no room (ENOBUFS on MGET), the driver drops the
         # datagram — BSD's IF_DROP — and TCP's rexmt recovers.
         if not host.pool.admit(len(pdu)):
+            if lin is not None:
+                lin.mark_dropped(seg_rec, "enobufs")
             return
 
         packet = Packet(pdu)
+        packet.lineage = seg_rec
         packet.last_cell_arrival_ns = arrived_at
         if wire_fault is not None:
             packet.corrupted_by = wire_fault.source
@@ -285,6 +312,7 @@ class ForeTca100:
             new_pdu, tag = injector.apply_controller(packet.data)
             if tag is not None:
                 packet = Packet(new_pdu)
+                packet.lineage = seg_rec
                 packet.last_cell_arrival_ns = arrived_at
                 packet.corrupted_by = tag
 

@@ -283,7 +283,8 @@ class Impairments:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def _note(self, host, kind: str, args: Optional[dict] = None) -> None:
+    def _note(self, host, kind: str, args: Optional[dict] = None,
+              pdu: Optional[bytes] = None) -> None:
         """Count one injected impairment in stats/metrics/trace."""
         counter = {"drop": "drops", "burst_drop": "burst_drops",
                    "duplicate": "duplicates", "reorder": "reorders",
@@ -292,6 +293,13 @@ class Impairments:
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
         if host.metrics is not None:
             host.metrics.inc(f"chaos.{counter}")
+        lineage = getattr(host, "lineage", None)
+        if lineage is not None and pdu is not None:
+            # Annotate the causal chain so the impairment decision shows
+            # up on the affected segment's record.
+            lineage.annotate_pdu(pdu, f"chaos.{kind}")
+            if kind.endswith("drop"):
+                lineage.mark_dropped_pdu(pdu, f"chaos-{kind}")
         observer = getattr(host, "observer", None)
         if observer is not None:
             observer.emit_instant(
@@ -310,11 +318,11 @@ class Impairments:
         wud = self._is_window_update_target(state, pdu)
         drop, truncate, duplicate, reorder, jitter = self._decide(state)
         if wud:
-            self._note(host, "window_update_drop")
+            self._note(host, "window_update_drop", pdu=pdu)
             return
         if drop:
             self._note(host, "burst_drop" if self.config.burst is not None
-                       else "drop", {"cells": n_cells})
+                       else "drop", {"cells": n_cells}, pdu=pdu)
             return
         if truncate and wire_fault is None and n_cells > 1:
             # Cut the tail off the real AAL3/4 cell train and let the
@@ -330,17 +338,17 @@ class Impairments:
             wire_fault = FaultOutcome("chaos-truncate", 0,
                                       detected_by_link_check=detected)
             n_cells -= cut
-            self._note(host, "truncate", {"cells_cut": cut})
+            self._note(host, "truncate", {"cells_cut": cut}, pdu=pdu)
         if reorder:
             delay_ns += self.config.reorder_delay_ns
-            self._note(host, "reorder")
+            self._note(host, "reorder", pdu=pdu)
         delay_ns += jitter
         if jitter:
             self.stats.jitter_total_ns += jitter
         sim.schedule(delay_ns, peer.deliver, pdu, n_cells, wire_fault,
                      data_bearing)
         if duplicate:
-            self._note(host, "duplicate")
+            self._note(host, "duplicate", pdu=pdu)
             sim.schedule(delay_ns + self.config.duplicate_gap_ns,
                          peer.deliver, pdu, n_cells, wire_fault,
                          data_bearing)
@@ -354,11 +362,11 @@ class Impairments:
         wud = self._is_window_update_target(state, pdu)
         drop, truncate, duplicate, reorder, jitter = self._decide(state)
         if wud:
-            self._note(host, "window_update_drop")
+            self._note(host, "window_update_drop", pdu=pdu)
             return
         if drop:
             self._note(host, "burst_drop" if self.config.burst is not None
-                       else "drop", {"bytes": len(pdu)})
+                       else "drop", {"bytes": len(pdu)}, pdu=pdu)
             return
         if truncate and wire_fault is None and len(pdu) > 1:
             # Chop the frame tail; the receiver's FCS comparison (the
@@ -369,15 +377,15 @@ class Impairments:
             wire_fault = FaultOutcome("chaos-truncate", 0,
                                       detected_by_link_check=detected)
             pdu = truncated
-            self._note(host, "truncate", {"bytes_cut": cut})
+            self._note(host, "truncate", {"bytes_cut": cut}, pdu=pdu)
         if reorder:
             delay_ns += self.config.reorder_delay_ns
-            self._note(host, "reorder")
+            self._note(host, "reorder", pdu=pdu)
         delay_ns += jitter
         if jitter:
             self.stats.jitter_total_ns += jitter
         sim.schedule(delay_ns, peer.deliver, pdu, wire_fault, data_bearing)
         if duplicate:
-            self._note(host, "duplicate")
+            self._note(host, "duplicate", pdu=pdu)
             sim.schedule(delay_ns + self.config.duplicate_gap_ns,
                          peer.deliver, pdu, wire_fault, data_bearing)

@@ -18,7 +18,8 @@ from repro.core.experiment import PAPER_SIZES, run_round_trip
 from repro.hw.costs import MachineCosts
 from repro.kern.config import KernelConfig
 
-__all__ = ["TransmitBreakdown", "ReceiveBreakdown", "measure_breakdowns"]
+__all__ = ["TransmitBreakdown", "ReceiveBreakdown", "measure_breakdowns",
+           "breakdown_from_lineage"]
 
 #: Span-name mapping for the transmit side (Table 2 row -> span).
 TX_SPANS = {
@@ -141,3 +142,34 @@ def measure_breakdowns(sizes: Optional[List[int]] = None,
             for row, span in rx_spans.items()
         }))
     return tx_rows, rx_rows
+
+
+def breakdown_from_lineage(recorder, size: int, iterations: int,
+                           network: str = "atm",
+                           client: str = "client",
+                           server: str = "server"):
+    """Derive the Table 2/3 columns from a causal-lineage recorder.
+
+    *recorder* is the :class:`repro.obs.lineage.LineageRecorder` of an
+    observed round-trip run (``Observer(lineage=True)``); its global
+    event log aggregated per host reproduces the SpanTracer's
+    float-summation order, so the returned rows are byte-for-byte equal
+    to what :func:`measure_breakdowns` computes from the span totals of
+    the very same run.
+    """
+    tx_spans = dict(TX_SPANS)
+    rx_spans = dict(RX_SPANS)
+    if network == "ethernet":
+        tx_spans["atm"] = "tx.ether"
+        rx_spans["atm"] = "rx.ether"
+    client_totals = recorder.aggregate(host=client)
+    server_totals = recorder.aggregate(host=server)
+    tx = TransmitBreakdown(size=size, **{
+        row: client_totals.get(span, 0.0) / iterations
+        for row, span in tx_spans.items()
+    })
+    rx = ReceiveBreakdown(size=size, **{
+        row: server_totals.get(span, 0.0) / iterations
+        for row, span in rx_spans.items()
+    })
+    return tx, rx

@@ -126,6 +126,13 @@ class RoundTripBenchmark:
                 self.result.warmup_server_spans = tb.server.tracer.snapshot()
                 tb.client.tracer.reset()
                 tb.server.tracer.reset()
+                # Lineage/flow recorders mark the same boundary so
+                # their "measured" views align with the span totals
+                # (duck-typed: None when the run is unobserved).
+                if tb.client.lineage is not None:
+                    tb.client.lineage.mark()
+                if tb.client.flow is not None:
+                    tb.client.flow.mark()
             t0 = clock.read_ticks()
             yield from sock.send(expected)
             echoed = yield from sock.recv(self.size, exact=True)

@@ -34,6 +34,10 @@ class PacketEvent:
     flags: int
     window: int
     payload_len: int
+    #: Causal-lineage segment id (0 when the run is untraced), linking
+    #: this wire observation to its :class:`repro.obs.lineage`
+    #: SegmentLineage record.
+    lineage_id: int = 0
 
     @property
     def is_data(self) -> bool:
@@ -85,6 +89,8 @@ class PacketLog:
             dst=f"{ip_ntoa(ip.dst)}:{tcp.dst_port}",
             seq=tcp.seq, ack=tcp.ack, flags=tcp.flags,
             window=tcp.window, payload_len=payload_len,
+            lineage_id=(packet.lineage.segment_id
+                        if packet.lineage is not None else 0),
         )
         self.events.append(event)
         if self.sink is not None:

@@ -139,12 +139,17 @@ class LanceEthernet:
 
         cost = us(costs.ether_tx_fixed_us
                   + costs.ether_tx_per_byte_us * length)
-        yield from host.charge(cost, priority, "ether tx", span=span)
+        yield from host.charge(cost, priority, "ether tx", span=span,
+                               lineage=packet.lineage)
 
         wire_time = link.frame_wire_time_ns(length)
         start = link.reserve_medium(host.sim.now, wire_time)
         arrival = start + wire_time + link.prop_delay_ns
         self._tx_done_at = start + wire_time
+        if packet.lineage is not None:
+            packet.lineage.add(
+                "wire.ether" if data_bearing else "wire.ack.ether",
+                "wire", start, arrival, (arrival - start) / 1000.0)
 
         self.stats.frames_sent += 1
         self.stats.bytes_sent += length
@@ -178,6 +183,9 @@ class LanceEthernet:
             self.stats.rx_overruns += 1
             if self.host.metrics is not None:
                 self.host.metrics.inc("ether.rx_overruns")
+            if self.host.lineage is not None:
+                self.host.lineage.mark_dropped_pdu(frame_payload,
+                                                   "rx-ring-overrun")
             return
         self._rx_ring_frames += 1
         self.host.sim.process(
@@ -200,8 +208,16 @@ class LanceEthernet:
         # Frame copied out of the adapter: the ring descriptor is free.
         self._rx_ring_frames -= 1
         span = "rx.ether" if data_bearing else "rx.ack.ether"
-        host.tracer.record_value(
-            span, (host.sim.now - arrived_at) / 1000.0)
+        wait_us = (host.sim.now - arrived_at) / 1000.0
+        host.tracer.record_value(span, wait_us)
+        lin = host.lineage
+        seg_rec = None
+        if lin is not None:
+            seg_rec = lin.match_pdu(frame_payload)
+            if seg_rec is not None:
+                seg_rec.rx_host = host.name
+                seg_rec.add(span, host.name, arrived_at, host.sim.now,
+                            wait_us)
         self.stats.frames_received += 1
         self.stats.bytes_received += len(frame_payload)
         if host.metrics is not None:
@@ -212,11 +228,16 @@ class LanceEthernet:
             self.stats.fcs_errors += 1
             if host.metrics is not None:
                 host.metrics.inc("ether.fcs_errors")
+            if lin is not None:
+                lin.mark_dropped(seg_rec, "fcs")
             return
         # ENOBUFS on the mbuf copy: the driver drops the frame (IF_DROP).
         if not host.pool.admit(len(frame_payload)):
+            if lin is not None:
+                lin.mark_dropped(seg_rec, "enobufs")
             return
         packet = Packet(frame_payload)
+        packet.lineage = seg_rec
         packet.last_cell_arrival_ns = arrived_at
         if wire_fault is not None:
             packet.corrupted_by = wire_fault.source

@@ -74,9 +74,12 @@ class IPLayer:
         if len(fragments) > 1:
             self.stats.fragments_sent += len(fragments)
         for fragment in fragments:
+            if fragment is not packet:
+                fragment.lineage = packet.lineage
             yield from self.host.charge(
                 us(costs.ip_output_us + costs.ip_hdr_cksum_us),
-                priority, "ip_output", span=span)
+                priority, "ip_output", span=span,
+                lineage=fragment.lineage)
             self.stats.sent += 1
             if self.host.metrics is not None:
                 self.host.metrics.inc("ip.sent")
@@ -101,7 +104,8 @@ class IPLayer:
         span = "rx.ip" if data_bearing else "rx.ack.ip"
         yield from self.host.charge(
             us(costs.ip_input_us + costs.ip_hdr_cksum_us),
-            Priority.SOFT_INTR, "ip_input", span=span)
+            Priority.SOFT_INTR, "ip_input", span=span,
+            lineage=packet.lineage)
         try:
             ip_hdr = packet.ip_header
             header_ok = ip_hdr.header_valid(packet.data)
@@ -113,6 +117,9 @@ class IPLayer:
             self.stats.hdr_cksum_errors += 1
             if self.host.metrics is not None:
                 self.host.metrics.inc("ip.hdr_cksum_errors")
+            if self.host.lineage is not None:
+                self.host.lineage.mark_dropped(packet.lineage,
+                                               "ip-hdr-cksum")
             return
         if ip_hdr.flags_fragment & (IP_MF | 0x1FFF):
             # A fragment: hand to the reassembler; continue only when a

@@ -64,6 +64,13 @@ class Host:
         #: guards on it, so unobserved runs pay one attribute read.
         self.metrics = None
         self.observer = None
+        #: Causal lineage recorder and flow telemetry
+        #: (repro.obs.lineage / repro.obs.flow), installed by
+        #: Observer.attach(lineage=True/flow=True).  None by default and
+        #: duck-typed at every call site — one attribute read plus one
+        #: None test is all an unobserved run pays.
+        self.lineage = None
+        self.flow = None
         #: splnet: BSD serializes protocol processing by masking the
         #: network software interrupt while a process runs inside the
         #: stack.  Here a mutex plays that role — the softint's
@@ -73,6 +80,8 @@ class Host:
         #: mid-tcp_output would shift the send buffer under the copy.
         self.splnet = Semaphore(sim, value=1, name=f"{name}.splnet")
         self.softnet.splnet = self.splnet
+        self.softnet.host_name = name
+        self.scheduler.host_name = name
 
     def _tcp_input(self, packet):
         yield from self.tcp.input(packet, Priority.SOFT_INTR)
@@ -97,12 +106,21 @@ class Host:
     # Conveniences used throughout the stack
     # ------------------------------------------------------------------
     def charge(self, cost_ns: int, priority: int, label: str,
-               span: Optional[str] = None) -> Generator:
-        """Charge CPU time, optionally recording it as a latency span."""
+               span: Optional[str] = None, lineage=None) -> Generator:
+        """Charge CPU time, optionally recording it as a latency span.
+
+        With *lineage* (a duck-typed record from repro.obs.lineage), the
+        span occurrence is also appended to that causal chain, carrying
+        the exact duration the tracer computed.
+        """
         token = self.tracer.begin(span) if span else None
+        start_ns = self.sim.now if lineage is not None else 0
         yield self.cpu.run(cost_ns, priority, label)
         if token is not None:
-            self.tracer.end(token)
+            duration_us = self.tracer.end(token)
+            if lineage is not None:
+                lineage.add(span, self.name, start_ns, self.sim.now,
+                            duration_us)
 
     def socket(self) -> Socket:
         """A fresh unconnected socket on this host."""

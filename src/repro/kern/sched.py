@@ -36,6 +36,10 @@ class ProcessScheduler:
         self.wakeups = 0
         #: Observability scope (repro.obs), installed by Observer.attach.
         self.metrics = None
+        #: Causal lineage recorder (repro.obs.lineage), installed by
+        #: Observer.attach(lineage=True); host_name is set by the Host.
+        self.lineage = None
+        self.host_name = ""
 
     def _channel(self, chan: Hashable) -> Signal:
         signal = self._channels.get(chan)
@@ -70,9 +74,12 @@ class ProcessScheduler:
             self.metrics.observe(
                 "sched.wakeup_us", (self.sim.now - wake_time_ns) / 1000.0)
         if span and self.tracer is not None:
-            self.tracer.record_value(
-                span, (self.sim.now - wake_time_ns) / 1000.0
-            )
+            wait_us = (self.sim.now - wake_time_ns) / 1000.0
+            self.tracer.record_value(span, wait_us)
+            if self.lineage is not None:
+                self.lineage.free_event(span, self.host_name,
+                                        wake_time_ns, self.sim.now,
+                                        wait_us)
 
     def wakeup(self, chan: Hashable,
                priority: int = Priority.SOFT_INTR) -> Generator:

@@ -56,6 +56,10 @@ class SoftNet:
         self.dropped_full = 0
         #: Observability scope (repro.obs), installed by Observer.attach.
         self.metrics = None
+        #: Causal lineage recorder (repro.obs.lineage), installed by
+        #: Observer.attach(lineage=True); host_name is set by the Host.
+        self.lineage = None
+        self.host_name = ""
 
     @property
     def queue_length(self) -> int:
@@ -75,6 +79,8 @@ class SoftNet:
             self.dropped_full += 1
             if self.metrics is not None:
                 self.metrics.inc("ipq.dropped_full")
+            if self.lineage is not None:
+                self.lineage.mark_dropped(packet.lineage, "ipq-overflow")
             return
         packet.enqueued_ipq_at = self.sim.now
         self._queue.append(packet)
@@ -132,3 +138,7 @@ class SoftNet:
             data_bearing = False  # unparseable (corrupted) datagram
         span = "rx.ipq" if data_bearing else "rx.ack.ipq"
         self.tracer.record_value(span, wait_us)
+        if self.lineage is not None and packet.lineage is not None:
+            packet.lineage.add(span, self.host_name,
+                               packet.enqueued_ipq_at, self.sim.now,
+                               wait_us)

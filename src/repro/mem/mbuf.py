@@ -98,7 +98,7 @@ class Mbuf:
     in the mbuf header while copying it in, for TCP to combine later.
     """
 
-    __slots__ = ("_data", "cluster", "partial_sum", "freed")
+    __slots__ = ("_data", "cluster", "partial_sum", "freed", "lineage")
 
     def __init__(self, data: Buffer = b"",
                  cluster: Optional[ClusterStorage] = None):
@@ -115,6 +115,10 @@ class Mbuf:
             self.cluster = None
         self.partial_sum: Optional[Tuple[int, int]] = None
         self.freed = False
+        #: Causal lineage tag (repro.obs.lineage record), duck-typed;
+        #: None on every unobserved run.  Propagated by m_copy so TCP's
+        #: retransmission copy keeps the originating write's identity.
+        self.lineage = None
 
     @property
     def is_cluster(self) -> bool:
@@ -276,6 +280,8 @@ class MbufPool:
                 mbuf.cluster = None
             mbuf.partial_sum = None
             mbuf.freed = False
+            # lineage is already None: free() clears it before a header
+            # enters the free list, and __init__ starts it cleared.
             self.reused += 1
             if self.metrics is not None:
                 self.metrics.inc("mbuf.reuses")
@@ -367,6 +373,7 @@ class MbufPool:
             mbuf._data = b""  # noqa: SLF001 - drop data refs eagerly
             mbuf.cluster = None
             mbuf.partial_sum = None
+            mbuf.lineage = None
             self._free.append(mbuf)
         return self.costs.mbuf_free_ns()
 
@@ -466,6 +473,7 @@ class MbufPool:
                     self._check_limit()
                     shared = Mbuf(cluster=mbuf.cluster.ref())
                     shared.partial_sum = mbuf.partial_sum
+                    shared.lineage = mbuf.lineage
                     self._count_alloc(cluster=True)
                     cost += _us(self.costs.cluster_ref_us)
                     new_chain.append(shared)
@@ -476,6 +484,7 @@ class MbufPool:
                     self._check_limit()
                     shared = Mbuf(cluster=ClusterStorage(
                         mbuf.data[start:start + take]))
+                    shared.lineage = mbuf.lineage
                     self._count_alloc(cluster=True)
                     cost += _us(self.costs.cluster_ref_us)
                     new_chain.append(shared)
@@ -486,6 +495,7 @@ class MbufPool:
                         mbuf.partial_sum if start == 0 and take == len(mbuf)
                         else None
                     )
+                    copied.lineage = mbuf.lineage
                     cost += alloc_cost
                     cost += self.costs.copy_mbuf_mbuf.ns(take)
                     new_chain.append(copied)

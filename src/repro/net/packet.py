@@ -28,7 +28,7 @@ class Packet:
         "data", "mbuf_count", "cluster_count",
         "enqueued_ipq_at", "last_cell_arrival_ns", "corrupted_by",
         "link_check_failed", "cksum_verified", "tx_host",
-        "segment_index", "segment_count",
+        "segment_index", "segment_count", "lineage",
     )
 
     def __init__(self, data: bytes, mbuf_count: int = 1,
@@ -46,6 +46,9 @@ class Packet:
         self.tx_host: Optional[str] = None
         self.segment_index = 0
         self.segment_count = 1
+        #: Causal lineage record (repro.obs.lineage.SegmentLineage),
+        #: duck-typed; None on every unobserved run.
+        self.lineage = None
 
     def __len__(self) -> int:
         return len(self.data)

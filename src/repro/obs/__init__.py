@@ -10,7 +10,15 @@ of reading a 40 ns clock at layer boundaries — but exportable:
 * :mod:`repro.obs.observer` — the :class:`Observer` that attaches to a
   testbed and accumulates slices, spans, packets and metrics;
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto),
-  JSONL streams, and plain-text dumps.
+  JSONL streams, plain-text and CSV dumps;
+* :mod:`repro.obs.lineage` — causal packet lineage: every user write,
+  TCP segment and socket delivery gets a record whose events trace the
+  bytes through mbuf copies, segmentation, IP, the driver, the wire,
+  the receive interrupt, IPQ, the socket wakeup and the user copy;
+* :mod:`repro.obs.flow` — per-connection flow telemetry (cwnd, rtt
+  estimators, retransmit state) sampled at TCP state transitions;
+* :mod:`repro.obs.explain` — the ``repro explain`` waterfall: one
+  RTT decomposed into per-layer spans that sum to the measured time.
 
 Quick use::
 
@@ -40,7 +48,10 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "ScopedMetrics",
     "Observer", "CpuTraceHooks",
     "chrome_trace", "write_chrome_trace", "trace_jsonl", "write_jsonl",
-    "metrics_text", "span_table",
+    "metrics_text", "metrics_csv", "span_table",
+    "LineageRecorder", "FlowTelemetry",
+    "run_traced", "explain_rtt", "write_rtt_trace", "diff_runs",
+    "format_diff",
 ]
 
 _LAZY = {
@@ -51,7 +62,15 @@ _LAZY = {
     "trace_jsonl": "repro.obs.export",
     "write_jsonl": "repro.obs.export",
     "metrics_text": "repro.obs.export",
+    "metrics_csv": "repro.obs.export",
     "span_table": "repro.obs.export",
+    "LineageRecorder": "repro.obs.lineage",
+    "FlowTelemetry": "repro.obs.flow",
+    "run_traced": "repro.obs.explain",
+    "explain_rtt": "repro.obs.explain",
+    "write_rtt_trace": "repro.obs.explain",
+    "diff_runs": "repro.obs.explain",
+    "format_diff": "repro.obs.explain",
 }
 
 

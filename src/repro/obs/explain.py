@@ -1,0 +1,348 @@
+"""``repro explain``: decompose one round trip into its causal waterfall.
+
+The paper's Tables 2/3 answer "where does the time go *on average*";
+this module answers it for **one specific RTT**.  A traced run
+(:func:`run_traced`) records causal lineage and flow telemetry; then
+:func:`explain_rtt` picks the *k*-th measured round trip, walks every
+lineage event inside its window, and attributes each nanosecond of the
+window to exactly one layer with an innermost-active interval sweep —
+so the per-layer rows **sum exactly to the measured RTT** (the clock
+card quantizes the published number to its 40 ns tick, hence "within a
+clock quantum").
+
+Concurrency is preserved, not averaged away: the ATM driver-copy/wire
+overlap (the adapter clocks cells onto the fiber while the driver is
+still copying later cells) shows up both in the waterfall bars and in
+an explicit overlap figure.
+
+:func:`diff_runs` compares the per-transfer attribution profiles of two
+runs (say, a clean baseline against an impaired link) and names the
+layer that ate the difference.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TracedRun", "RTTExplanation", "AttributionRow", "run_traced",
+           "explain_rtt", "write_rtt_trace", "diff_runs",
+           "format_diff", "attribution_profile"]
+
+#: Wire pseudo-host name used by the adapters' lineage wire events.
+WIRE_HOST = "wire"
+
+
+class TracedRun:
+    """One lineage+flow observed benchmark run, ready to explain."""
+
+    def __init__(self, observer, result, network: str, label: str,
+                 iterations: int) -> None:
+        self.observer = observer
+        self.result = result
+        self.network = network
+        self.label = label
+        self.iterations = iterations
+        self.recorder = observer.lineage
+        self.flow = observer.flow
+
+    @property
+    def size(self) -> int:
+        return self.result.size
+
+
+def run_traced(size: int = 1400, network: str = "atm", config=None,
+               iterations: int = 4, warmup: int = 1,
+               impairments=None, label: str = "run") -> TracedRun:
+    """Run the echo benchmark with lineage + flow tracing enabled."""
+    from repro.core.experiment import run_round_trip
+    from repro.obs.observer import Observer
+
+    observer = Observer(lineage=True, flow=True)
+    result = run_round_trip(size=size, network=network, config=config,
+                            iterations=iterations, warmup=warmup,
+                            observer=observer, impairments=impairments)
+    return TracedRun(observer, result, network, label, iterations)
+
+
+class AttributionRow:
+    """One layer's share of a single RTT window."""
+
+    __slots__ = ("name", "host", "ns")
+
+    def __init__(self, name: str, host: str, ns: int) -> None:
+        self.name = name
+        self.host = host
+        self.ns = ns
+
+    @property
+    def us(self) -> float:
+        return self.ns / 1000.0
+
+
+class RTTExplanation:
+    """The full decomposition of one measured round trip."""
+
+    def __init__(self, run: TracedRun, index: int, start_ns: int,
+                 end_ns: int, events: List, rows: List[AttributionRow],
+                 overlap_ns: int) -> None:
+        self.run = run
+        self.index = index
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        #: Lineage events overlapping the window, by start time.
+        self.events = events
+        #: Innermost-active attribution; ``sum(r.ns) == window_ns``.
+        self.rows = rows
+        #: ns during which the wire was clocking cells while a host CPU
+        #: was still charged to a driver span (the §2.2.3 overlap).
+        self.overlap_ns = overlap_ns
+
+    @property
+    def window_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def window_us(self) -> float:
+        return self.window_ns / 1000.0
+
+    @property
+    def measured_rtt_us(self) -> float:
+        return self.run.result.rtt_us[self.index]
+
+    def format(self, width: int = 48) -> str:
+        """The text waterfall plus the attribution table."""
+        lines: List[str] = []
+        r = self.run
+        lines.append(
+            f"RTT #{self.index} of {r.label}: {r.size} bytes over "
+            f"{r.network}, measured {self.measured_rtt_us:.2f}us "
+            f"(window {self.window_us:.3f}us, clock quantum 0.04us)")
+        lines.append("")
+        span = max(self.window_ns, 1)
+        lines.append(f"{'layer event':<22} {'host':<7} {'start_us':>9} "
+                     f"{'dur_us':>8}  timeline")
+        for ev in self.events:
+            s = max(ev.start_ns, self.start_ns)
+            e = min(ev.end_ns, self.end_ns)
+            lo = int((s - self.start_ns) * width / span)
+            hi = max(int((e - self.start_ns) * width / span), lo + 1)
+            bar = " " * lo + "#" * (hi - lo)
+            lines.append(
+                f"{ev.name:<22} {ev.host:<7} "
+                f"{(ev.start_ns - self.start_ns) / 1000.0:>9.3f} "
+                f"{ev.duration_us:>8.3f}  |{bar:<{width}}|")
+        lines.append("")
+        lines.append(f"{'attributed to':<22} {'host':<7} {'us':>9} "
+                     f"{'share':>7}")
+        for row in self.rows:
+            lines.append(f"{row.name:<22} {row.host:<7} "
+                         f"{row.us:>9.3f} "
+                         f"{100.0 * row.ns / span:>6.1f}%")
+        total_us = sum(r_.ns for r_ in self.rows) / 1000.0
+        lines.append(f"{'total':<22} {'':<7} {total_us:>9.3f} "
+                     f"{'100.0%':>7}")
+        if self.overlap_ns:
+            lines.append("")
+            lines.append(
+                f"driver-copy/wire overlap: {self.overlap_ns / 1000.0:.3f}"
+                f"us of wire time hidden under the driver copy")
+        return "\n".join(lines)
+
+
+def _client_windows(recorder, client: str) -> List[Tuple[int, int]]:
+    """[(start_ns, end_ns)] per measured iteration on the client.
+
+    An iteration is one ``tx.user``..``rx.user`` burst: it opens at the
+    first ``tx.user`` after the previous iteration's last ``rx.user``
+    and closes at the last ``rx.user`` before the next ``tx.user`` —
+    exactly the interval the benchmark brackets with clock reads.
+    """
+    windows: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    end: Optional[int] = None
+    for ev in recorder.measured_events():
+        if ev.host != client:
+            continue
+        if ev.name == "tx.user":
+            if start is not None and end is not None:
+                windows.append((start, end))
+                start = end = None
+            if start is None:
+                start = ev.start_ns
+        elif ev.name == "rx.user":
+            end = ev.end_ns
+    if start is not None and end is not None:
+        windows.append((start, end))
+    return windows
+
+
+def _attribute(events, start_ns: int, end_ns: int) -> List[AttributionRow]:
+    """Innermost-active interval sweep: every ns goes to one row.
+
+    At each elementary interval the winner is the active event with the
+    latest start (ties: earliest end, then latest arrival in the log —
+    the most specific, most recently entered layer).  Intervals with no
+    active event become explicit ``(idle/turnaround)`` rows rather than
+    vanishing, so the rows always sum exactly to the window.
+    """
+    bounds = {start_ns, end_ns}
+    clipped = []
+    for order, ev in enumerate(events):
+        s = max(ev.start_ns, start_ns)
+        e = min(ev.end_ns, end_ns)
+        if s >= e:
+            continue  # zero-width inside the window
+        clipped.append((s, e, order, ev))
+        bounds.add(s)
+        bounds.add(e)
+    cuts = sorted(bounds)
+    totals: Dict[Tuple[str, str], int] = {}
+    order_seen: List[Tuple[str, str]] = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        winner = None
+        winner_rank = None
+        for s, e, order, ev in clipped:
+            if s <= lo and e >= hi:
+                rank = (s, -e, order)
+                if winner_rank is None or rank > winner_rank:
+                    winner, winner_rank = ev, rank
+        key = ((winner.name, winner.host) if winner is not None
+               else ("(idle/turnaround)", ""))
+        if key not in totals:
+            totals[key] = 0
+            order_seen.append(key)
+        totals[key] += hi - lo
+    return [AttributionRow(name, host, totals[(name, host)])
+            for name, host in order_seen]
+
+
+def _wire_overlap_ns(events) -> int:
+    """ns of wire activity concurrent with a driver-copy CPU charge."""
+    wires = [e for e in events if e.host == WIRE_HOST]
+    copies = [e for e in events
+              if e.host != WIRE_HOST
+              and (".atm" in e.name or ".ether" in e.name)]
+    total = 0
+    for w in wires:
+        for c in copies:
+            lo = max(w.start_ns, c.start_ns)
+            hi = min(w.end_ns, c.end_ns)
+            if hi > lo:
+                total += hi - lo
+    return total
+
+
+def explain_rtt(run: TracedRun, index: int = 0,
+                client: str = "client",
+                server: str = "server") -> RTTExplanation:
+    """Decompose the *index*-th measured round trip of a traced run."""
+    recorder = run.recorder
+    if recorder is None:
+        raise ValueError("run was not traced with lineage enabled")
+    windows = _client_windows(recorder, client)
+    if not windows:
+        raise ValueError("no measured round trips in the lineage log")
+    if not 0 <= index < len(windows):
+        raise ValueError(f"rtt index {index} out of range "
+                         f"(have {len(windows)})")
+    start_ns, end_ns = windows[index]
+    events = sorted(
+        (ev for ev in recorder.events_between(
+            start_ns, end_ns, hosts={client, server, WIRE_HOST})
+         if max(ev.start_ns, start_ns) < min(ev.end_ns, end_ns)),
+        key=lambda e: (e.start_ns, e.end_ns))
+    rows = _attribute(events, start_ns, end_ns)
+    return RTTExplanation(run, index, start_ns, end_ns, events, rows,
+                          _wire_overlap_ns(events))
+
+
+def write_rtt_trace(explanation: RTTExplanation, path: str) -> int:
+    """Export one RTT's waterfall as a Chrome ``trace_event`` file.
+
+    Each participant (client, server, the wire) is a Perfetto process;
+    each layer is a named thread, reusing the observer's layer lanes.
+    """
+    from repro.obs.observer import TID_NAMES, span_tid
+
+    pids: Dict[str, int] = {}
+    events: List[dict] = []
+    for ev in explanation.events:
+        pid = pids.get(ev.host)
+        if pid is None:
+            pid = pids[ev.host] = len(pids) + 1
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "ts": 0.0,
+                           "args": {"name": ev.host}})
+            for tid, tname in TID_NAMES.items():
+                events.append({"name": "thread_name", "ph": "M",
+                               "pid": pid, "tid": tid, "ts": 0.0,
+                               "args": {"name": tname}})
+        events.append({
+            "name": ev.name, "cat": "lineage", "ph": "X",
+            "ts": (ev.start_ns - explanation.start_ns) / 1000.0,
+            "dur": ev.duration_us,
+            "pid": pid, "tid": span_tid(ev.name),
+        })
+    doc = {"traceEvents": events, "displayTimeUnit": "ms",
+           "otherData": {"generator": "repro.obs.explain",
+                         "rtt_index": explanation.index,
+                         "measured_rtt_us": explanation.measured_rtt_us}}
+    with open(path, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+        fh.write("\n")
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Profile diffing
+# ----------------------------------------------------------------------
+def attribution_profile(run: TracedRun) -> Dict[str, float]:
+    """Mean per-transfer µs per ``host.span`` over the measured run."""
+    recorder = run.recorder
+    profile: Dict[str, float] = {}
+    for host in ("client", "server", WIRE_HOST):
+        for name, total in recorder.aggregate(host=host).items():
+            profile[f"{host}.{name}"] = total / run.iterations
+    return profile
+
+
+def diff_runs(run_a: TracedRun, run_b: TracedRun) -> List[dict]:
+    """Per-layer deltas between two traced runs, largest first."""
+    pa = attribution_profile(run_a)
+    pb = attribution_profile(run_b)
+    rows = []
+    for key in sorted(set(pa) | set(pb)):
+        a = pa.get(key, 0.0)
+        b = pb.get(key, 0.0)
+        rows.append({"layer": key, "a_us": a, "b_us": b,
+                     "delta_us": b - a})
+    rows.sort(key=lambda r: (-abs(r["delta_us"]), r["layer"]))
+    return rows
+
+
+def format_diff(run_a: TracedRun, run_b: TracedRun,
+                limit: int = 12) -> str:
+    """Human-readable diff naming the layer that ate the difference."""
+    rows = diff_runs(run_a, run_b)
+    rtt_a = run_a.result.mean_rtt_us
+    rtt_b = run_b.result.mean_rtt_us
+    lines = [
+        f"attribution diff: {run_a.label} (mean {rtt_a:.1f}us) vs "
+        f"{run_b.label} (mean {rtt_b:.1f}us), "
+        f"delta {rtt_b - rtt_a:+.1f}us per RTT",
+        f"{'layer':<28} {run_a.label[:10]:>10} {run_b.label[:10]:>10} "
+        f"{'delta_us':>10}",
+    ]
+    for row in rows[:limit]:
+        lines.append(f"{row['layer']:<28} {row['a_us']:>10.2f} "
+                     f"{row['b_us']:>10.2f} {row['delta_us']:>+10.2f}")
+    if rows and abs(rows[0]["delta_us"]) > 0.005:
+        top = rows[0]
+        direction = "gained" if top["delta_us"] > 0 else "saved"
+        lines.append(
+            f"=> {top['layer']} {direction} the most: "
+            f"{abs(top['delta_us']):.2f}us per transfer")
+    else:
+        lines.append("=> no layer moved more than 0.005us per transfer")
+    return "\n".join(lines)

@@ -23,7 +23,7 @@ import json
 from typing import Iterator, List
 
 __all__ = ["chrome_trace", "write_chrome_trace", "trace_jsonl",
-           "write_jsonl", "metrics_text", "span_table"]
+           "write_jsonl", "metrics_text", "metrics_csv", "span_table"]
 
 
 def _sorted_events(observer) -> List[dict]:
@@ -97,6 +97,39 @@ def span_table(observer) -> str:
                 f"{s['min_us']:>9.1f} {s['max_us']:>9.1f} "
                 f"{s['total_us']:>10.1f}")
     return "\n".join(lines)
+
+
+def metrics_csv(observer) -> str:
+    """Metrics and span aggregates as flat CSV (``metrics --format=csv``).
+
+    One row per datum: ``kind,name,field,value``.  Counters get a
+    single ``value`` row; gauges get ``value`` and ``max``; histograms
+    get ``count``/``sum``/``mean``; spans are scoped ``host.span`` names
+    with the snapshot's five statistics.  Keys are sorted, so the byte
+    stream is deterministic for identical runs.
+    """
+    snap = observer.metrics.snapshot()
+    rows: List[str] = ["kind,name,field,value"]
+
+    def emit(kind: str, name: str, field: str, value) -> None:
+        rows.append(f"{kind},{name},{field},{value:g}")
+
+    for name, value in snap["counters"].items():
+        emit("counter", name, "value", value)
+    for name, g in snap["gauges"].items():
+        emit("gauge", name, "value", g["value"])
+        emit("gauge", name, "max", g["max"])
+    for name, h in snap["histograms"].items():
+        emit("histogram", name, "count", h["count"])
+        emit("histogram", name, "sum", h["sum"])
+        emit("histogram", name, "mean", h["mean"])
+    for host_name, spans in sorted(observer.spans.items()):
+        for span_name in sorted(spans):
+            s = spans[span_name]
+            for field in ("count", "mean_us", "min_us", "max_us",
+                          "total_us"):
+                emit("span", f"{host_name}.{span_name}", field, s[field])
+    return "\n".join(rows)
 
 
 def metrics_text(observer) -> str:

@@ -1,0 +1,98 @@
+"""Per-connection flow telemetry: TCP control-state time series.
+
+Samples are taken at connection state transitions (establishment, ACK
+advance, RTT sample, retransmission fire, persist probe, teardown) and
+capture the variables the congestion-control literature plots over time:
+``snd_cwnd``, ``snd_wnd``, the smoothed RTT estimate, the exponential
+backoff shift, and the send-sequence frontier.  The stack reaches this
+through the duck-typed ``host.flow`` attribute (``None`` unobserved), so
+the zero-overhead contract holds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["FlowSample", "FlowTelemetry"]
+
+
+class FlowSample:
+    """One point of one connection's control-state time series."""
+
+    __slots__ = ("t_ns", "host", "local_port", "remote_port", "state",
+                 "reason", "snd_cwnd", "snd_wnd", "srtt_us", "rttvar_us",
+                 "rto_us", "rtx_shift", "snd_una_rel", "snd_nxt_rel",
+                 "snd_max_rel", "rcv_nxt_rel", "persist_probes",
+                 "retransmits")
+
+    def __init__(self, **kw) -> None:
+        for name in self.__slots__:
+            setattr(self, name, kw[name])
+
+    def as_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class FlowTelemetry:
+    """Collects :class:`FlowSample` rows across every observed host."""
+
+    def __init__(self) -> None:
+        self.samples: List[FlowSample] = []
+        self._mark = 0
+
+    def sample(self, conn, reason: str) -> FlowSample:
+        """Snapshot *conn* (a :class:`~repro.tcp.conn.TCPConnection`)."""
+        row = FlowSample(
+            t_ns=conn.host.sim.now,
+            host=conn.host.name,
+            local_port=conn.pcb.local_port,
+            remote_port=conn.pcb.remote_port,
+            state=conn.state.value,
+            reason=reason,
+            snd_cwnd=conn.snd_cwnd,
+            snd_wnd=conn.snd_wnd,
+            srtt_us=conn.srtt_us,
+            rttvar_us=conn.rttvar_us,
+            rto_us=conn.rto_us,
+            rtx_shift=conn._rtx_shift,
+            snd_una_rel=(conn.snd_una - conn.iss) & 0xFFFFFFFF,
+            snd_nxt_rel=(conn.snd_nxt - conn.iss) & 0xFFFFFFFF,
+            snd_max_rel=(conn.snd_max - conn.iss) & 0xFFFFFFFF,
+            rcv_nxt_rel=((conn.rcv_nxt - conn.irs) & 0xFFFFFFFF
+                         if conn.irs else 0),
+            persist_probes=conn.stats.persist_probes,
+            retransmits=conn.stats.retransmits,
+        )
+        self.samples.append(row)
+        return row
+
+    # ------------------------------------------------------------------
+    # Warmup boundary + export
+    # ------------------------------------------------------------------
+    def mark(self) -> None:
+        self._mark = len(self.samples)
+
+    def measured_samples(self) -> List[FlowSample]:
+        return self.samples[self._mark:]
+
+    def jsonl_lines(self, measured_only: bool = False) -> Iterator[str]:
+        rows = self.measured_samples() if measured_only else self.samples
+        for row in rows:
+            yield json.dumps(row.as_dict(), sort_keys=True)
+
+    def write_jsonl(self, path: str,
+                    measured_only: bool = False) -> int:
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.jsonl_lines(measured_only):
+                fh.write(line + "\n")
+                n += 1
+        return n
+
+    def for_connection(self, host: Optional[str] = None,
+                       local_port: Optional[int] = None
+                       ) -> List[FlowSample]:
+        return [s for s in self.samples
+                if (host is None or s.host == host)
+                and (local_port is None or s.local_port == local_port)]

@@ -32,7 +32,8 @@ from repro.obs.hooks import SimHooks
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Observer", "CpuTraceHooks", "TID_HARD_INTR", "TID_SOFT_INTR",
-           "TID_KERNEL", "TID_USER", "TID_SPANS", "TID_NET"]
+           "TID_KERNEL", "TID_USER", "TID_SPANS", "TID_NET",
+           "span_tid"]
 
 #: Chrome-trace thread ids: one per simulated CPU context, matching
 #: :class:`repro.sim.cpu.Priority` (so preemption nests visually), plus
@@ -44,6 +45,29 @@ TID_USER = 3
 TID_SPANS = 8
 TID_NET = 9
 
+#: Per-layer span lanes: each protocol layer renders as its own named
+#: "thread" in Perfetto, so one RTT reads top-to-bottom as the paper's
+#: Figure 1 stack walk.  ATM and Ethernet drivers share a lane (a host
+#: has one interface); spans that fit no layer fall back to TID_SPANS.
+TID_LAYER_USER = 10
+TID_LAYER_TCP = 11
+TID_LAYER_IP = 12
+TID_LAYER_DRIVER = 13
+TID_LAYER_IPQ = 14
+TID_LAYER_WAKEUP = 15
+TID_LAYER_WIRE = 16
+
+_LAYER_TIDS = {
+    "user": TID_LAYER_USER,
+    "tcp": TID_LAYER_TCP,
+    "ip": TID_LAYER_IP,
+    "atm": TID_LAYER_DRIVER,
+    "ether": TID_LAYER_DRIVER,
+    "ipq": TID_LAYER_IPQ,
+    "wakeup": TID_LAYER_WAKEUP,
+    "wire": TID_LAYER_WIRE,
+}
+
 TID_NAMES = {
     TID_HARD_INTR: "cpu:hard_intr",
     TID_SOFT_INTR: "cpu:soft_intr",
@@ -51,7 +75,23 @@ TID_NAMES = {
     TID_USER: "cpu:user",
     TID_SPANS: "spans",
     TID_NET: "net",
+    TID_LAYER_USER: "layer:user",
+    TID_LAYER_TCP: "layer:tcp",
+    TID_LAYER_IP: "layer:ip",
+    TID_LAYER_DRIVER: "layer:driver",
+    TID_LAYER_IPQ: "layer:ipq",
+    TID_LAYER_WAKEUP: "layer:wakeup",
+    TID_LAYER_WIRE: "layer:wire",
 }
+
+
+def span_tid(name: str) -> int:
+    """Map a span name (``rx.ack.tcp.segment``) to its layer lane."""
+    for part in name.split("."):
+        if part in ("tx", "rx", "ack"):
+            continue
+        return _LAYER_TIDS.get(part, TID_SPANS)
+    return TID_SPANS
 
 
 class CpuTraceHooks(SimHooks):
@@ -116,7 +156,8 @@ class CpuTraceHooks(SimHooks):
 class Observer:
     """Collects one run's trace events, metrics, spans and packets."""
 
-    def __init__(self, capture_packets: bool = True):
+    def __init__(self, capture_packets: bool = True,
+                 lineage: bool = False, flow: bool = False):
         self.metrics = MetricsRegistry()
         #: Chrome-format event dicts (ts/dur in float microseconds).
         self.trace_events: List[dict] = []
@@ -124,6 +165,18 @@ class Observer:
         self.spans: Dict[str, Dict[str, dict]] = {}
         self.capture_packets = capture_packets
         self.packet_log = None  # created on attach when capturing
+        #: Causal packet lineage (repro.obs.lineage); one recorder is
+        #: shared by every attached host so cross-wire correlation (tx
+        #: record matched on the rx side) needs no extra plumbing.
+        self.lineage = None
+        #: Per-connection flow telemetry (repro.obs.flow).
+        self.flow = None
+        if lineage:
+            from repro.obs.lineage import LineageRecorder
+            self.lineage = LineageRecorder()
+        if flow:
+            from repro.obs.flow import FlowTelemetry
+            self.flow = FlowTelemetry()
         self.hooks = CpuTraceHooks(self)
         self.testbeds: List[Any] = []
         self._pids: Dict[str, int] = {}       # host name -> pid
@@ -157,6 +210,12 @@ class Observer:
         host.softnet.metrics = scoped
         host.scheduler.metrics = scoped
         host.pool.metrics = scoped
+        if self.lineage is not None:
+            host.lineage = self.lineage
+            host.scheduler.lineage = self.lineage
+            host.softnet.lineage = self.lineage
+        if self.flow is not None:
+            host.flow = self.flow
 
         def span_sink(name: str, duration_us: float, end_us: float,
                       _pid: int = pid) -> None:
@@ -198,7 +257,7 @@ class Observer:
         self.trace_events.append({
             "name": name, "cat": "span", "ph": "X",
             "ts": end_us - duration_us, "dur": duration_us,
-            "pid": pid, "tid": TID_SPANS,
+            "pid": pid, "tid": span_tid(name),
         })
 
     def on_packet(self, packet_event) -> None:

@@ -188,9 +188,25 @@ class Socket:
         else:
             cost += costs.copy_user_mbuf.ns(len(data))
         yield host.cpu.run(cost, Priority.KERNEL, "sosend copyin")
+        lin = host.lineage
+        write_rec = None
+        if lin is not None:
+            # First byte of this write, relative to the ISS: the unacked
+            # bytes already buffered sit between snd_una and the new data.
+            seq_lo = 0
+            if self.conn is not None:
+                seq_lo = ((self.conn.snd_una + self.so_snd.cc
+                           - self.conn.iss) & 0xFFFFFFFF)
+            write_rec = lin.begin_write(host.name, len(data), seq_lo)
+            for mbuf in chain.mbufs:
+                mbuf.lineage = write_rec
         self.so_snd.append(chain)
         if token is not None:
-            tracer.end(token)
+            duration_us = tracer.end(token)
+            if write_rec is not None:
+                write_rec.add("tx.user", host.name,
+                              token[1] * host.clock.period_ns,
+                              host.sim.now, duration_us)
 
     def _predicted_chunks(self, total: int) -> Optional[list]:
         """§4.1.1 segment-size prediction: chunk the copy at the
@@ -259,10 +275,15 @@ class Socket:
         take = min(max_bytes, self.so_rcv.cc)
         data = self.so_rcv.peek(take)
         nmbufs = self.so_rcv.mbufs_in_first(take)
-        has_cluster = any(
-            m.is_cluster for m, _s, _t in
-            self.so_rcv.chain.mbufs_spanning(0, take)
-        )
+        spanning = self.so_rcv.chain.mbufs_spanning(0, take)
+        has_cluster = any(m.is_cluster for m, _s, _t in spanning)
+        lin = host.lineage
+        delivery = None
+        if lin is not None:
+            # Close the causal chain: which segments' bytes this read
+            # returns (adopted before sbdrop frees the mbufs).
+            delivery = lin.begin_delivery(host.name, take)
+            delivery.adopt_segments(m for m, _s, _t in spanning)
         cost = us(costs.soreceive_fixed_us)
         if has_cluster:
             cost += costs.copy_user_cluster.ns(take)
@@ -276,7 +297,11 @@ class Socket:
             # caller when the window grows by >= 2 segments).
             yield from self.conn.window_update(Priority.KERNEL)
         yield from self._charge_syscall_exit()
-        tracer.end(token)
+        duration_us = tracer.end(token)
+        if delivery is not None:
+            delivery.add("rx.user", host.name,
+                         token[1] * host.clock.period_ns, host.sim.now,
+                         duration_us)
         return data
 
     # ------------------------------------------------------------------

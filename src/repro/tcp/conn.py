@@ -160,6 +160,13 @@ class TCPConnection:
         kind = "" if payload_len > 0 else "ack."
         return f"{direction}.{kind}{base}"
 
+    def _flow_sample(self, reason: str) -> None:
+        """Record a per-connection telemetry sample (repro.obs.flow),
+        taken at control-state transitions; free when unobserved."""
+        flow = self.host.flow
+        if flow is not None:
+            flow.sample(self, reason)
+
     def local_mss(self) -> int:
         iface = self.host.interface
         if iface is None:
@@ -277,6 +284,12 @@ class TCPConnection:
         """Build and send one segment starting at snd_nxt."""
         costs = self._costs
         span_seg = self._span("tcp.segment", length, "tx")
+        lin = self.host.lineage
+        seg_rec = None
+        if lin is not None:
+            seg_rec = lin.begin_segment(
+                self.host.name, seq=self.snd_nxt, length=length,
+                kind="data" if length > 0 else "ack")
 
         # --- protocol processing (the "segment" span) -------------------
         # The per-call fixed cost is charged once per tcp_output call;
@@ -288,7 +301,7 @@ class TCPConnection:
         if self._config.header_prediction:
             seg_cost += us(costs.header_predict_setup_us)
         yield from self.host.charge(seg_cost, priority, "tcp_output",
-                                    span=span_seg)
+                                    span=span_seg, lineage=seg_rec)
 
         # --- retransmission copy (the "mcopy" span) --------------------
         payload = b""
@@ -301,7 +314,12 @@ class TCPConnection:
                 sb_chain, off, length)
             yield from self.host.charge(
                 mcopy_cost, priority, "tcp mcopy",
-                span=self._span("tcp.mcopy", length, "tx"))
+                span=self._span("tcp.mcopy", length, "tx"),
+                lineage=seg_rec)
+            if seg_rec is not None:
+                # The copy chain carries the originating writes' tags
+                # (m_copy propagated them); adopt before free_chain.
+                seg_rec.adopt_writes(copy_chain.mbufs)
             payload = copy_chain.to_bytes()
             mbuf_count += copy_chain.mbuf_count
             cluster_count = copy_chain.cluster_count
@@ -343,12 +361,12 @@ class TCPConnection:
                        + us(costs.partial_cksum_tx_fixed_us)
                        + us(0.5) * coverage.chunks_combined)
             yield from self.host.charge(ck_cost, priority, "tcp cksum",
-                                        span=span_ck)
+                                        span=span_ck, lineage=seg_rec)
         else:
             explicit_cksum = None
             ck_cost = costs.cksum_kernel.ns(cksum_bytes + length)
             yield from self.host.charge(ck_cost, priority, "tcp cksum",
-                                        span=span_ck)
+                                        span=span_ck, lineage=seg_rec)
 
         # --- assemble and hand to IP ------------------------------------
         ip_hdr = IPHeader(
@@ -368,6 +386,11 @@ class TCPConnection:
         packet.mbuf_count = mbuf_count
         packet.cluster_count = cluster_count
         packet.tx_host = self.host.name
+        if seg_rec is not None:
+            # Keyed by (ip.src, ident) so the receiving host — sharing
+            # the recorder — re-attaches the record on rx.
+            lin.set_key(seg_rec, ip_hdr.src, ip_hdr.identification)
+            packet.lineage = seg_rec
 
         self.stats.segs_sent += 1
         if length > 0:
@@ -378,6 +401,8 @@ class TCPConnection:
         is_retransmit = seq_lt(self.snd_nxt, self.snd_max)
         if is_retransmit:
             self.stats.retransmits += 1
+        if seg_rec is not None:
+            seg_rec.retransmit = is_retransmit
         metrics = self.host.metrics
         if metrics is not None:
             metrics.inc("tcp.segs_out")
@@ -421,17 +446,25 @@ class TCPConnection:
                       options: Optional[TCPOptions] = None,
                       priority: int = Priority.KERNEL) -> Generator:
         costs = self._costs
+        lin = self.host.lineage
+        seg_rec = None
+        if lin is not None:
+            seg_rec = lin.begin_segment(
+                self.host.name, seq=seq, length=0,
+                kind="ctl" if flags & TCPFlags.SYN else "ack")
         cost = us(costs.tcp_output_fixed_us
                   + costs.tcp_output_per_segment_us)
         yield from self.host.charge(cost, priority, "tcp_output ctrl",
-                                    span="tx.ack.tcp.segment")
+                                    span="tx.ack.tcp.segment",
+                                    lineage=seg_rec)
         opt_bytes = options.encode() if options else b""
         header_len = 20 + len(opt_bytes)
         # Control segments are always checksummed: checksum-off only
         # applies after it has been negotiated at establishment.
         yield from self.host.charge(
             costs.cksum_kernel.ns(header_len + 20), priority,
-            "tcp cksum ctrl", span="tx.ack.tcp.checksum")
+            "tcp cksum ctrl", span="tx.ack.tcp.checksum",
+            lineage=seg_rec)
         ip_hdr = IPHeader(src=self.pcb.local_ip, dst=self.pcb.remote_ip,
                           total_length=0,
                           identification=self.host.ip.next_ident())
@@ -447,6 +480,9 @@ class TCPConnection:
         )
         packet = build_tcp_packet(ip_hdr, tcp_hdr, b"")
         packet.tx_host = self.host.name
+        if seg_rec is not None:
+            lin.set_key(seg_rec, ip_hdr.src, ip_hdr.identification)
+            packet.lineage = seg_rec
         self.stats.segs_sent += 1
         if not flags & TCPFlags.SYN:
             self.stats.pure_acks_sent += 1
@@ -473,7 +509,8 @@ class TCPConnection:
             metrics.inc("tcp.predict.hit" if fast
                         else "tcp.predict.miss")
         if fast:
-            yield from self._fast_path(tcp_hdr, payload, priority)
+            yield from self._fast_path(tcp_hdr, payload, priority,
+                                       lineage=packet.lineage)
             return
         yield from self._slow_path(packet, tcp_hdr, payload, priority)
 
@@ -506,12 +543,13 @@ class TCPConnection:
                 and len(payload) <= self.socket.so_rcv.space)
 
     def _fast_path(self, tcp_hdr: TCPHeader, payload: bytes,
-                   priority: int) -> Generator:
+                   priority: int, lineage=None) -> Generator:
         costs = self._costs
         self.stats.fast_path_hits += 1
         yield from self.host.charge(
             us(costs.tcp_input_fast_us), priority, "tcp_input fast",
-            span=self._span("tcp.segment", len(payload), "rx"))
+            span=self._span("tcp.segment", len(payload), "rx"),
+            lineage=lineage)
         if len(payload) == 0:
             self.stats.fast_path_ack_hits += 1
             acked = seq_diff(tcp_hdr.ack, self.snd_una)
@@ -535,7 +573,7 @@ class TCPConnection:
             self.stats.mbuf_drops += 1
             return
         self.rcv_nxt = seq_add(self.rcv_nxt, len(payload))
-        self._append_receive_data(payload)
+        self._append_receive_data(payload, lineage=lineage)
         self._note_delack()
         yield from self.host.scheduler.wakeup(
             self.socket.rcv_channel, priority)
@@ -551,7 +589,8 @@ class TCPConnection:
         costs = self._costs
         yield from self.host.charge(
             us(costs.tcp_input_slow_us), priority, "tcp_input slow",
-            span=self._span("tcp.segment", len(payload), "rx"))
+            span=self._span("tcp.segment", len(payload), "rx"),
+            lineage=packet.lineage)
 
         flags = tcp_hdr.flags
         if flags & TCPFlags.RST:
@@ -598,7 +637,8 @@ class TCPConnection:
         if flags & TCPFlags.ACK:
             yield from self._process_ack(
                 tcp_hdr, priority,
-                span=self._span("tcp.segment", len(payload), "rx"))
+                span=self._span("tcp.segment", len(payload), "rx"),
+                lineage=packet.lineage)
             if self.state is TCPState.CLOSED:
                 return
         if flags & TCPFlags.ACK:
@@ -628,7 +668,7 @@ class TCPConnection:
                 self.stats.mbuf_drops += 1
             elif seq == self.rcv_nxt:
                 self.rcv_nxt = seq_add(self.rcv_nxt, len(data))
-                self._append_receive_data(data)
+                self._append_receive_data(data, lineage=packet.lineage)
                 if not self.reassembly.empty:
                     drained, new_nxt = self.reassembly.drain(self.rcv_nxt)
                     if drained and self.host.pool.can_admit(len(drained)):
@@ -682,6 +722,7 @@ class TCPConnection:
         if flags & TCPFlags.ACK and tcp_hdr.ack == seq_add(self.iss, 1):
             self.snd_una = tcp_hdr.ack
             self.state = TCPState.ESTABLISHED
+            self._flow_sample("established")
             self._cancel_rtx_timer()
             self.ack_now = True
             if not self.established_event.triggered:
@@ -696,12 +737,13 @@ class TCPConnection:
         self.end_output_call()
 
     def _process_ack(self, tcp_hdr: TCPHeader, priority: int,
-                     span: Optional[str] = None) -> Generator:
+                     span: Optional[str] = None, lineage=None) -> Generator:
         ack = tcp_hdr.ack
         if self.state is TCPState.SYN_RECEIVED:
             if ack == seq_add(self.iss, 1):
                 self.snd_una = ack
                 self.state = TCPState.ESTABLISHED
+                self._flow_sample("established")
                 self._cancel_rtx_timer()
                 self._rtx_shift = 0
                 if not self.established_event.triggered:
@@ -718,7 +760,7 @@ class TCPConnection:
             return  # old or duplicate ACK
         yield from self.host.charge(
             us(self._costs.tcp_ack_processing_us), priority, "tcp ack",
-            span=span)
+            span=span, lineage=lineage)
         acked = seq_diff(ack, self.snd_una)
         drop = min(acked, self.socket.so_snd.cc)
         if drop:
@@ -778,7 +820,7 @@ class TCPConnection:
     # ------------------------------------------------------------------
     # Receive-side helpers
     # ------------------------------------------------------------------
-    def _append_receive_data(self, data: bytes) -> None:
+    def _append_receive_data(self, data: bytes, lineage=None) -> None:
         """sbappend the payload into the receive buffer.
 
         The mbufs were conceptually produced by the driver's reassembly;
@@ -787,6 +829,11 @@ class TCPConnection:
         """
         use_clusters = len(data) > 1024
         chain, _cost = self.host.pool.build_chain(data, use_clusters)
+        if lineage is not None:
+            # Tag the receive-buffer mbufs with the segment's record so
+            # the read syscall can name the segments it delivers.
+            for mbuf in chain.mbufs:
+                mbuf.lineage = lineage
         self.socket.so_rcv.append(chain)
         self.stats.bytes_received += len(data)
 
@@ -818,6 +865,7 @@ class TCPConnection:
 
     def _enter_time_wait(self) -> None:
         self.state = TCPState.TIME_WAIT
+        self._flow_sample("time-wait")
         self._cancel_rtx_timer()
         msl_ns = us(self._config.rtx_timeout_us)  # 2MSL ~ 2 * RTO here
         self._time_wait_timer = self.host.sim.schedule(
@@ -825,6 +873,7 @@ class TCPConnection:
 
     def _close_now(self) -> None:
         self.state = TCPState.CLOSED
+        self._flow_sample("closed")
         self._cancel_rtx_timer()
         self._cancel_delack_timer()
         self._cancel_persist_timer()
@@ -891,6 +940,7 @@ class TCPConnection:
                     1, self.t_maxseg * self.t_maxseg // self.snd_cwnd)
             self.snd_cwnd = min(self.snd_cwnd, 0xFFFF)
         self._cancel_persist_timer()
+        self._flow_sample("ack")
 
     # ------------------------------------------------------------------
     # RTT estimation (Van Jacobson + Karn)
@@ -915,6 +965,7 @@ class TCPConnection:
                 self._config.min_rto_us),
             self._config.max_rto_us,
         )
+        self._flow_sample("rtt-sample")
 
     def _discard_rtt_sample(self) -> None:
         """Karn's rule: a retransmission invalidates the pending sample
@@ -939,6 +990,7 @@ class TCPConnection:
             flight = min(self.snd_cwnd, self.snd_wnd or self.snd_cwnd)
             self.snd_ssthresh = max(2 * self.t_maxseg, flight // 2)
             self.snd_cwnd = self.t_maxseg
+        self._flow_sample("rexmt")
         self.host.sim.process(self._under_splnet(self._retransmit()),
                               name="tcp-rtx")
 
@@ -1001,6 +1053,7 @@ class TCPConnection:
         def probe():
             self.t_force = True
             self.stats.persist_probes += 1
+            self._flow_sample("persist")
             yield from self.output(Priority.SOFT_INTR)
             self.end_output_call()
             self._start_persist_timer()

@@ -124,7 +124,7 @@ class TCPLayer:
         )
         span = ("rx.tcp.segment" if payload else "rx.ack.tcp.segment")
         yield from self.host.charge(lookup_cost, priority, "pcb lookup",
-                                    span=span)
+                                    span=span, lineage=packet.lineage)
 
         conn = pcb.connection if pcb is not None else None
 
@@ -137,6 +137,8 @@ class TCPLayer:
                 conn.stats.cksum_errors += 1
             if self.host.metrics is not None:
                 self.host.metrics.inc("tcp.cksum_errors")
+            if self.host.lineage is not None:
+                self.host.lineage.mark_dropped(packet.lineage, "cksum")
             return  # silently dropped; the retransmission timer recovers
 
         if pcb is None or (not pcb.is_listener and pcb.connection is None):
@@ -206,7 +208,7 @@ class TCPLayer:
         cksum_bytes = len(packet.data) - IP_HEADER_LEN + 20
         yield from self.host.charge(
             costs.cksum_kernel.ns(cksum_bytes), priority, "tcp cksum",
-            span=span)
+            span=span, lineage=packet.lineage)
         self.stats.cksum_verified += 1
         return verify_tcp_checksum(packet)
 

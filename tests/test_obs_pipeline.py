@@ -324,6 +324,65 @@ class TestChromeTraceExport:
         assert "rx.ipq" in text
         assert "client.tcp.segs_out" in text
 
+    def test_per_layer_thread_lanes(self):
+        from repro.obs.observer import span_tid
+        doc = chrome_trace(self._observed())
+        thread_names = {e["args"]["name"]
+                        for e in doc["traceEvents"]
+                        if e.get("ph") == "M"
+                        and e["name"] == "thread_name"}
+        assert {"layer:user", "layer:tcp", "layer:ip", "layer:driver",
+                "layer:ipq", "layer:wakeup"} <= thread_names
+        spans = [e for e in doc["traceEvents"]
+                 if e.get("cat") == "span"]
+        assert spans
+        assert all(e["tid"] == span_tid(e["name"]) for e in spans)
+        # Distinct layers really land on distinct lanes.
+        assert len({e["tid"] for e in spans}) >= 5
+
+
+# ----------------------------------------------------------------------
+# Multi-run aggregation on one Observer
+# ----------------------------------------------------------------------
+class TestObserverMultiRun:
+    def test_collect_exposes_chaos_gauges(self):
+        from repro.chaos import ImpairmentConfig, Impairments
+        imp = Impairments(ImpairmentConfig(seed=7, p_drop=0.1))
+        obs = Observer()
+        run_round_trip(size=1400, iterations=6, warmup=1, observer=obs,
+                       impairments=imp)
+        assert imp.stats.packets_seen > 0
+        for name, value in imp.stats.as_dict().items():
+            assert obs.metrics.value(f"chaos.{name}") == value
+
+    def test_two_sequential_runs_merge_spans(self):
+        obs = Observer()
+        run_round_trip(size=200, iterations=2, warmup=1, observer=obs)
+        first = obs.spans["client"]["tx.user"]["count"]
+        assert first > 0
+        run_round_trip(size=200, iterations=2, warmup=1, observer=obs)
+        merged = obs.spans["client"]["tx.user"]
+        # The identical second run doubles counts and totals...
+        assert merged["count"] == 2 * first
+        # ...while min/max/mean are unchanged (idempotent under an
+        # identical merge).
+        single = Observer()
+        run_round_trip(size=200, iterations=2, warmup=1,
+                       observer=single)
+        one = single.spans["client"]["tx.user"]
+        assert merged["min_us"] == one["min_us"]
+        assert merged["max_us"] == one["max_us"]
+        assert merged["mean_us"] == pytest.approx(one["mean_us"])
+
+    def test_recollect_is_idempotent_for_gauges(self):
+        obs = Observer()
+        run_round_trip(size=200, iterations=2, warmup=1, observer=obs)
+        busy = obs.metrics.value("client.cpu.busy_us")
+        snap = obs.metrics.snapshot()
+        obs.collect(obs.testbeds[-1])
+        assert obs.metrics.value("client.cpu.busy_us") == busy
+        assert obs.metrics.snapshot()["gauges"] == snap["gauges"]
+
 
 # ----------------------------------------------------------------------
 # CLI
