@@ -31,10 +31,19 @@ Observability subcommands (see :mod:`repro.obs` and the README's
 Static analysis & determinism subcommands (see :mod:`repro.analysis`
 and the README's "Static analysis & determinism checking" section):
 
-* ``python -m repro lint [paths...] [--format text|json]`` — run the
-  AST determinism/layering linter (defaults to the installed repro
-  package); exits 1 on error-severity findings.  ``--rules`` prints
-  the rule catalog.
+* ``python -m repro lint [paths...] [--format text|json|github]`` —
+  run the AST determinism/layering linter (defaults to the installed
+  repro package); exits 1 on error-severity findings.  ``--rules``
+  prints the rule catalog.  ``--format github`` emits workflow
+  annotation commands for CI.
+* ``python -m repro sanitize [paths...] [--format text|json|github]``
+  — static sanitizer: mbuf ownership dataflow analysis (leaks on
+  early-return/exception paths, double frees, use after handoff) plus
+  the TCP state-machine exhaustiveness diff against the declared
+  RFC 793 spec.  ``--table`` prints the extracted transition table;
+  ``--rules`` the ownership rule catalog.  The runtime half is
+  ``REPRO_SANITIZE=1`` (poison-on-free, allocation-site provenance,
+  leak-at-quiesce audits, timer sanitizer).
 * ``python -m repro racecheck [target] [--size N] [--iterations N]
   [--tiebreaks CSV]`` — re-run a trace target under perturbed
   same-timestamp event orderings and diff packet logs, RTT samples and
@@ -490,46 +499,114 @@ def list_targets() -> int:
     return 0
 
 
-def cmd_lint(args) -> int:
-    """``python -m repro lint [paths...] [--format text|json]``."""
-    import json
-    import os
+FINDING_FORMATS = ("text", "json", "github")
 
-    from repro.analysis import Severity, lint_paths, rule_catalog
 
-    if "--rules" in args:
-        print(rule_catalog())
-        return 0
+def _parse_finding_args(tool, args, extra_flags=()):
+    """Parse ``[paths...] [--format text|json|github]`` plus boolean
+    *extra_flags*; returns (paths, fmt, flags) or None on usage error."""
     fmt = "text"
-    paths = []
+    paths, flags = [], set()
     i = 0
     while i < len(args):
         if args[i] == "--format":
-            if i + 1 >= len(args) or args[i + 1] not in ("text", "json"):
-                print("lint: --format needs 'text' or 'json'")
-                return 2
+            if i + 1 >= len(args) or args[i + 1] not in FINDING_FORMATS:
+                print(f"{tool}: --format needs one of "
+                      f"{'/'.join(FINDING_FORMATS)}")
+                return None
             fmt = args[i + 1]
             i += 2
+        elif args[i] in extra_flags:
+            flags.add(args[i])
+            i += 1
         elif args[i].startswith("-"):
-            print(f"lint: unknown option {args[i]}")
-            return 2
+            print(f"{tool}: unknown option {args[i]}")
+            return None
         else:
             paths.append(args[i])
             i += 1
     if not paths:
+        import os
+
         import repro
         paths = [os.path.dirname(os.path.abspath(repro.__file__))]
-    findings = lint_paths(paths)
+    return paths, fmt, flags
+
+
+def _render_findings(tool, findings, fmt, paths) -> int:
+    """Print *findings* in *fmt*; exit status 1 on any error finding.
+
+    ``json`` is the machine-readable interchange shared by lint and
+    sanitize; ``github`` emits workflow annotation commands so CI runs
+    mark up the diff."""
+    import json
+
+    from repro.analysis import Severity
+
     if fmt == "json":
         print(json.dumps([f.as_dict() for f in findings], indent=2))
+    elif fmt == "github":
+        for f in findings:
+            kind = "error" if f.severity == Severity.ERROR else "warning"
+            print(f"::{kind} file={f.path},line={f.line},"
+                  f"col={f.col},title={f.rule}::{f.message}")
     else:
         for finding in findings:
             print(finding.format())
         errors = sum(1 for f in findings
                      if f.severity == Severity.ERROR)
-        print(f"lint: {len(findings)} finding(s), {errors} error(s) "
+        print(f"{tool}: {len(findings)} finding(s), {errors} error(s) "
               f"in {' '.join(paths)}")
     return 1 if any(f.severity == Severity.ERROR for f in findings) else 0
+
+
+def cmd_lint(args) -> int:
+    """``python -m repro lint [paths...] [--format text|json|github]``."""
+    from repro.analysis import lint_paths, rule_catalog
+
+    if "--rules" in args:
+        print(rule_catalog())
+        return 0
+    parsed = _parse_finding_args("lint", args)
+    if parsed is None:
+        return 2
+    paths, fmt, _ = parsed
+    return _render_findings("lint", lint_paths(paths), fmt, paths)
+
+
+def cmd_sanitize(args) -> int:
+    """``python -m repro sanitize [paths...] [--format text|json|github]
+    [--table] [--no-statemachine]``.
+
+    Static half of the sanitizer: the mbuf ownership dataflow analysis
+    over *paths* plus the TCP state-machine exhaustiveness diff against
+    the declared RFC 793 spec.  (The runtime half is enabled with
+    ``REPRO_SANITIZE=1``.)  ``--table`` prints the extracted transition
+    table instead of checking."""
+    from repro.analysis import (
+        analyze_paths,
+        check_state_machine,
+        format_transition_table,
+        ownership_rule_catalog,
+    )
+
+    if "--rules" in args:
+        print(ownership_rule_catalog())
+        return 0
+    parsed = _parse_finding_args("sanitize", args,
+                                 extra_flags=("--table",
+                                              "--no-statemachine"))
+    if parsed is None:
+        return 2
+    paths, fmt, flags = parsed
+    if "--table" in flags:
+        print(format_transition_table())
+        return 0
+    findings = list(analyze_paths(paths))
+    if "--no-statemachine" not in flags:
+        findings.extend(check_state_machine())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return _render_findings("sanitize", findings, fmt, paths)
 
 
 def cmd_racecheck(args) -> int:
@@ -734,6 +811,8 @@ def main(argv) -> int:
         return cmd_explain(args[1:])
     if args and args[0] == "lint":
         return cmd_lint(args[1:])
+    if args and args[0] == "sanitize":
+        return cmd_sanitize(args[1:])
     if args and args[0] == "racecheck":
         return cmd_racecheck(args[1:])
     if args and args[0] == "bench":
@@ -745,7 +824,7 @@ def main(argv) -> int:
     if unknown:
         print(f"unknown section(s): {', '.join(unknown)}")
         print(f"available: {' '.join(SECTIONS)} trace metrics explain "
-              f"lint racecheck bench chaos --list "
+              f"lint sanitize racecheck bench chaos --list "
               f"[--parallel N] [--no-cache]")
         return 2
     for i, name in enumerate(names):

@@ -11,11 +11,31 @@ checking" section):
   same-timestamp tie-break and diffs observable results, plus cheap
   runtime invariants surfaced through :class:`repro.obs.hooks.SimHooks`
   (``repro racecheck``).
+* :mod:`repro.analysis.ownership` / :mod:`repro.analysis.statemachine`
+  — the mbuf ownership dataflow analyzer and the TCP state-machine
+  exhaustiveness checker behind ``repro sanitize`` (their runtime
+  counterpart lives in :mod:`repro.mem.sanitize`).
 """
 
 from repro.analysis.findings import Finding, Severity, parse_pragmas
-from repro.analysis.invariants import InvariantHooks, check_ipq_conservation
+from repro.analysis.invariants import (
+    InvariantHooks,
+    check_ipq_conservation,
+    check_mbuf_conservation,
+    check_timer_sanity,
+)
 from repro.analysis.linter import Linter, lint_paths, rule_catalog
+from repro.analysis.ownership import (
+    OWNERSHIP_RULES,
+    OwnershipAnalyzer,
+    analyze_paths,
+    ownership_rule_catalog,
+)
+from repro.analysis.statemachine import (
+    StateMachineChecker,
+    check_state_machine,
+    format_transition_table,
+)
 from repro.analysis.racecheck import (
     DEFAULT_PERTURBATIONS,
     Divergence,
@@ -31,7 +51,12 @@ from repro.analysis.rules import RULES, LintContext
 __all__ = [
     "Finding", "Severity", "parse_pragmas",
     "InvariantHooks", "check_ipq_conservation",
+    "check_mbuf_conservation", "check_timer_sanity",
     "Linter", "lint_paths", "rule_catalog", "RULES", "LintContext",
+    "OWNERSHIP_RULES", "OwnershipAnalyzer", "analyze_paths",
+    "ownership_rule_catalog",
+    "StateMachineChecker", "check_state_machine",
+    "format_transition_table",
     "DEFAULT_PERTURBATIONS", "Divergence", "RaceReport", "RunDigest",
     "check_scenario", "compare_digests", "digest_round_trip",
     "racecheck_round_trip",

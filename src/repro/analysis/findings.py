@@ -49,7 +49,7 @@ class Finding:
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"[{self.rule}] {self.severity}: {self.message}")
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, object]:
         return {"path": self.path, "line": self.line, "col": self.col,
                 "rule": self.rule, "severity": self.severity,
                 "message": self.message}

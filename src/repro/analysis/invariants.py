@@ -19,7 +19,8 @@ from typing import Any, List
 from repro.obs.hooks import SimHooks
 
 __all__ = ["InvariantHooks", "check_ipq_conservation",
-           "check_mbuf_conservation", "check_rexmt_backoff_bounded"]
+           "check_mbuf_conservation", "check_rexmt_backoff_bounded",
+           "check_timer_sanity"]
 
 
 class InvariantHooks(SimHooks):
@@ -90,6 +91,7 @@ def check_mbuf_conservation(host: Any) -> List[str]:
             f"allocated={pool.allocated}")
     live = 0
     seen = set()
+    held_ids = set()
     for conn in host.tcp.connections:
         sock = conn.socket
         if sock is None or id(sock) in seen:
@@ -97,12 +99,34 @@ def check_mbuf_conservation(host: Any) -> List[str]:
         seen.add(id(sock))
         live += sock.so_snd.chain.mbuf_count
         live += sock.so_rcv.chain.mbuf_count
+        held_ids.update(id(m) for m in sock.so_snd.chain.mbufs)
+        held_ids.update(id(m) for m in sock.so_rcv.chain.mbufs)
     if pool.in_use != live:
         violations.append(
             f"mbuf-conservation[{host.name}]: in_use={pool.in_use} != "
             f"{live} mbufs live in socket buffers "
             f"(allocated={pool.allocated} freed={pool.freed})")
+        # With the runtime sanitizer active, name each leaked
+        # allocation by its provenance (site + generation).
+        if pool.sanitizer is not None:
+            for description in pool.sanitizer.live_report(held_ids):
+                violations.append(
+                    f"mbuf-leak[{host.name}]: {description}")
     return violations
+
+
+def check_timer_sanity(host: Any) -> List[str]:
+    """Timer-sanitizer audit: no callback may fire on a closed connection.
+
+    Only meaningful when the runtime sanitizer is active
+    (``REPRO_SANITIZE=1`` / ``KernelConfig.sanitize``) — TCP records the
+    violations as they happen; this collects them at quiesce.
+    """
+    sanitizer = host.pool.sanitizer
+    if sanitizer is None:
+        return []
+    return [f"timer-sanity[{host.name}]: {violation}"
+            for violation in sanitizer.timer_violations]
 
 
 def check_rexmt_backoff_bounded(host: Any) -> List[str]:

@@ -1,0 +1,728 @@
+"""Static mbuf ownership analysis: the dataflow half of ``repro sanitize``.
+
+An intraprocedural abstract interpreter tracks every local bound from an
+:class:`~repro.mem.mbuf.MbufPool` allocation site (``alloc``,
+``alloc_cluster``, ``build_chain``, ``m_copy`` — called through any
+receiver whose dotted path ends in a ``pool`` component) through one of
+three abstract states:
+
+* **OWNED** — this function must eventually free the value or hand it
+  off; reaching an exit while OWNED is a leak.
+* **HANDED** — ownership moved to someone else: the value was passed
+  bare to a call, returned, yielded, stored into an attribute or
+  subscript, captured by a nested function, or move-assigned to another
+  name.  Reads stay legal; *mutating* uses (``append``/``extend``/
+  ``free``) are use-after-handoff aliasing errors.
+* **FREED** — ``pool.free(...)`` / ``pool.free_chain(...)`` consumed
+  it; any further use is a use-after-free, another free a double free.
+
+Branches are merged as state *sets* (a variable freed on one arm and
+owned on the other is "may leak"); loops run two passes so back-edge
+rebinding of a still-owned value is caught; ``try`` handlers are
+analyzed from the state at try-entry merged with snapshots taken at
+each ``MbufExhausted``-raising allocation call, which is how the
+``except MbufExhausted: pool.free_chain(chain); raise`` recovery idiom
+checks out clean.  An allocation performed while another value is
+definitely OWNED, outside any ``try``, leaks on the exception edge and
+is reported.
+
+Known limits (documented, deliberate): the analysis is per-function
+(a callee that frees its argument is modelled as a handoff, not a
+free), conditionally-raising calls other than the four allocation
+methods are assumed not to raise, and values reached through
+attributes/subscripts are not tracked.  Suppress deliberate deviations
+with ``# repro: allow(<rule>)`` pragmas, same grammar as the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity, parse_pragmas
+from repro.analysis.linter import _python_files, module_name_for
+
+__all__ = ["OWNERSHIP_RULES", "OwnershipAnalyzer", "analyze_source",
+           "analyze_paths", "ownership_rule_catalog"]
+
+#: Rule catalog: id -> (severity, one-line doc).
+OWNERSHIP_RULES: Dict[str, Tuple[str, str]] = {
+    "mbuf-leak": (
+        Severity.ERROR,
+        "An allocated mbuf/chain can reach a function exit (return, "
+        "raise, fall-off, rebinding or a raising allocation) while "
+        "still owned."),
+    "mbuf-double-free": (
+        Severity.ERROR,
+        "A value already consumed by free/free_chain is freed again."),
+    "mbuf-use-after-free": (
+        Severity.ERROR,
+        "A value is read after free/free_chain consumed it."),
+    "mbuf-use-after-handoff": (
+        Severity.ERROR,
+        "A value whose ownership moved to another layer is mutated or "
+        "freed through a stale alias."),
+}
+
+#: MbufPool methods that mint an owned value (element 0 of the returned
+#: tuple) — and, under a pool limit, the calls that raise MbufExhausted.
+_SOURCE_METHODS = frozenset(
+    {"alloc", "alloc_cluster", "build_chain", "m_copy"})
+
+#: MbufPool methods that consume ownership of their first argument.
+_FREE_METHODS = frozenset({"free", "free_chain"})
+
+#: Builtins that only borrow an argument (no ownership transfer).
+_BORROW_CALLEES = frozenset({
+    "len", "repr", "str", "bool", "id", "print", "isinstance", "type",
+    "iter", "list", "tuple", "sum", "sorted", "enumerate", "min", "max",
+    "any", "all", "getattr", "hasattr",
+})
+
+#: Methods on a tracked value that mutate it (illegal after handoff).
+_MUTATING_METHODS = frozenset({"append", "extend"})
+
+# Abstract states.
+_OWNED = "owned"
+_HANDED = "handed"
+_FREED = "freed"
+_ABSENT = "absent"  # unbound on some merged path
+
+_State = FrozenSet[str]
+_Env = Dict[str, _State]
+
+_ONLY_OWNED: _State = frozenset({_OWNED})
+_ONLY_HANDED: _State = frozenset({_HANDED})
+_ONLY_FREED: _State = frozenset({_FREED})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _pool_receiver(node: ast.AST) -> bool:
+    """True when *node* looks like an MbufPool (…``.pool`` / ``pool``)."""
+    dotted = _dotted(node)
+    if dotted is None:
+        return False
+    return "pool" in dotted.split(".")[-1]
+
+
+class _VarInfo:
+    """Where a tracked variable was allocated (for messages)."""
+
+    __slots__ = ("method", "line")
+
+    def __init__(self, method: str, line: int) -> None:
+        self.method = method
+        self.line = line
+
+    def label(self, name: str) -> str:
+        return f"'{name}' ({self.method} at line {self.line})"
+
+
+class _FunctionAnalyzer:
+    """Abstract interpretation of one function body."""
+
+    def __init__(self, path: str, func: ast.AST) -> None:
+        self.path = path
+        self.func = func
+        self.meta: Dict[str, _VarInfo] = {}
+        #: Innermost-first stacks of env snapshots taken at raising
+        #: allocation calls, one list per enclosing try.
+        self.try_stack: List[List[_Env]] = []
+        self._emitted: Set[Tuple[int, int, str]] = set()
+        self.findings: List[Finding] = []
+        #: Parallel to :attr:`findings`: the allocation line behind each
+        #: finding (when known), so an ``allow`` pragma on the
+        #: allocation site suppresses a leak reported at the escape
+        #: point further down.
+        self.origins: List[Optional[int]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        body = getattr(self.func, "body", [])
+        env: _Env = {}
+        out = self.exec_block(body, env)
+        if out is not None:
+            end = getattr(self.func, "body", [self.func])[-1]
+            self.check_exit(out, end, "at end of function")
+        return self.findings
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def emit(self, node: ast.AST, rule: str, message: str,
+             origin_line: Optional[int] = None) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        # One report per (position, rule): a rebinding leak and a
+        # raising-allocation leak at the same call are the same defect.
+        key = (line, col, rule)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.findings.append(Finding(
+            path=self.path, line=line, col=col, rule=rule,
+            severity=OWNERSHIP_RULES[rule][0], message=message))
+        self.origins.append(origin_line)
+
+    def check_exit(self, env: _Env, node: ast.AST, where: str) -> None:
+        for name, states in env.items():
+            if _OWNED not in states:
+                continue
+            info = self.meta.get(name)
+            label = info.label(name) if info else f"'{name}'"
+            maybe = "may leak" if len(states) > 1 else "leaks"
+            self.emit(node, "mbuf-leak", f"{label} {maybe} {where}",
+                      origin_line=info.line if info else None)
+
+    @staticmethod
+    def merge(*envs: Optional[_Env]) -> _Env:
+        live = [env for env in envs if env is not None]
+        merged: _Env = {}
+        names: Set[str] = set()
+        for env in live:
+            names.update(env)
+        for name in names:
+            states: Set[str] = set()
+            for env in live:
+                states.update(env.get(name, frozenset({_ABSENT})))
+            merged[name] = frozenset(states)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+    def exec_block(self, stmts: Sequence[ast.stmt],
+                   env: _Env) -> Optional[_Env]:
+        """Run *stmts* over *env*; None means all paths terminated."""
+        current: Optional[_Env] = env
+        for stmt in stmts:
+            if current is None:
+                break
+            current = self.exec_stmt(stmt, current)
+        return current
+
+    def exec_stmt(self, stmt: ast.stmt, env: _Env) -> Optional[_Env]:
+        if isinstance(stmt, ast.Assign):
+            return self.exec_assign(stmt, env)
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                fake = ast.Assign(targets=[stmt.target], value=stmt.value)
+                ast.copy_location(fake, stmt)
+                return self.exec_assign(fake, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            self.scan_expr(stmt.value, env)
+            self.scan_expr(stmt.target, env)
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.scan_expr(stmt.value, env, statement_value=True)
+            return env
+        if isinstance(stmt, ast.Return):
+            return self.exec_return(stmt, env)
+        if isinstance(stmt, ast.Raise):
+            return self.exec_raise(stmt, env)
+        if isinstance(stmt, ast.If):
+            return self.exec_if(stmt, env)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self.exec_loop(stmt, env, iter_expr=stmt.iter)
+        if isinstance(stmt, ast.While):
+            return self.exec_loop(stmt, env, iter_expr=stmt.test)
+        if isinstance(stmt, ast.Try):
+            return self.exec_try(stmt, env)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.scan_expr(item.context_expr, env)
+            return self.exec_block(stmt.body, env)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            self.capture_closure(stmt, env)
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    states = env.pop(target.id, None)
+                    if states is not None and _OWNED in states:
+                        info = self.meta.get(target.id)
+                        label = (info.label(target.id) if info
+                                 else f"'{target.id}'")
+                        self.emit(stmt, "mbuf-leak",
+                                  f"{label} deleted while still owned")
+                else:
+                    self.scan_expr(target, env)
+            return env
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            for name in stmt.names:
+                env.pop(name, None)
+            return env
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            # Approximation: loop analysis merges the two body passes,
+            # which covers the common free-then-break shapes.
+            return env
+        # Assert, Pass, Import, ...: scan any embedded expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.scan_expr(child, env)
+        return env
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_assign(self, stmt: ast.Assign, env: _Env) -> _Env:
+        value = stmt.value
+        source = self.source_call(value)
+        if source is not None:
+            assert isinstance(value, ast.Call)
+            # Allocation methods borrow their arguments (m_copy reads
+            # the chain it copies) — ownership stays with the caller.
+            self.scan_borrowed_args(value, env)
+            self.note_raising_allocation(value, env)
+            bound = self.bind_targets(stmt.targets, env, source, value)
+            if not bound:
+                self.emit(value, "mbuf-leak",
+                          f"result of {source} is never bound to a "
+                          f"name this analysis can track")
+            return env
+        # Move semantics: `y = x` transfers ownership to y.
+        if isinstance(value, ast.Name) and value.id in env \
+                and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            target = stmt.targets[0]
+            states = env[value.id]
+            if _FREED in states:
+                info = self.meta.get(value.id)
+                label = info.label(value.id) if info else f"'{value.id}'"
+                self.emit(value, "mbuf-use-after-free",
+                          f"{label} read after free")
+            if target.id != value.id:
+                self.rebind_check(target.id, stmt, env)
+                env[target.id] = states
+                self.meta[target.id] = self.meta.get(
+                    value.id, _VarInfo("move", value.lineno))
+                if _OWNED in states:
+                    env[value.id] = _ONLY_HANDED
+            return env
+        # General assignment: a tracked value stored into an attribute,
+        # subscript, or container escapes this function's ownership.
+        self.hand_off_names(value, env)
+        self.scan_expr(value, env)
+        for target in stmt.targets:
+            self.untrack_target(target, stmt, env)
+        return env
+
+    def bind_targets(self, targets: Sequence[ast.expr], env: _Env,
+                     source: str, value: ast.Call) -> bool:
+        """Bind the owned element of a source call's result; True when
+        a trackable name received it."""
+        if len(targets) != 1:
+            return False
+        target = targets[0]
+        owned_node: Optional[ast.expr] = None
+        if isinstance(target, ast.Name):
+            owned_node = target
+        elif isinstance(target, (ast.Tuple, ast.List)) and target.elts:
+            # (chain, cost) = pool.build_chain(...): element 0 owns.
+            owned_node = target.elts[0]
+            for extra in target.elts[1:]:
+                self.untrack_target(extra, value, env)
+        if not isinstance(owned_node, ast.Name):
+            return False
+        self.rebind_check(owned_node.id, value, env)
+        env[owned_node.id] = _ONLY_OWNED
+        self.meta[owned_node.id] = _VarInfo(source, value.lineno)
+        return True
+
+    def rebind_check(self, name: str, node: ast.AST, env: _Env) -> None:
+        states = env.get(name)
+        if states is not None and _OWNED in states:
+            info = self.meta.get(name)
+            label = info.label(name) if info else f"'{name}'"
+            self.emit(node, "mbuf-leak",
+                      f"{label} rebound while still owned",
+                      origin_line=info.line if info else None)
+
+    def untrack_target(self, target: ast.expr, node: ast.AST,
+                       env: _Env) -> None:
+        if isinstance(target, ast.Name):
+            self.rebind_check(target.id, node, env)
+            env.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.untrack_target(elt, node, env)
+            return
+        if isinstance(target, ast.Starred):
+            self.untrack_target(target.value, node, env)
+            return
+        # Attribute / subscript store: scan the receiver expression.
+        self.scan_expr(target, env, store_target=True)
+
+    def exec_return(self, stmt: ast.Return, env: _Env) -> Optional[_Env]:
+        if stmt.value is not None:
+            self.hand_off_names(stmt.value, env)
+            self.scan_expr(stmt.value, env)
+        self.check_exit(env, stmt, "at return")
+        return None
+
+    def exec_raise(self, stmt: ast.Raise, env: _Env) -> Optional[_Env]:
+        if stmt.exc is not None:
+            self.scan_expr(stmt.exc, env)
+        if self.try_stack:
+            self.try_stack[-1].append(dict(env))
+        else:
+            self.check_exit(env, stmt, "on this exception path")
+        return None
+
+    def exec_if(self, stmt: ast.If, env: _Env) -> Optional[_Env]:
+        self.scan_expr(stmt.test, env)
+        body_out = self.exec_block(stmt.body, dict(env))
+        else_out = self.exec_block(stmt.orelse, dict(env)) \
+            if stmt.orelse else dict(env)
+        if body_out is None and else_out is None:
+            return None
+        return self.merge(body_out, else_out)
+
+    def exec_loop(self, stmt: ast.stmt, env: _Env,
+                  iter_expr: ast.expr) -> Optional[_Env]:
+        self.scan_expr(iter_expr, env)
+        body = getattr(stmt, "body", [])
+        orelse = getattr(stmt, "orelse", [])
+        first = self.exec_block(body, dict(env))
+        merged = self.merge(env, first)
+        # Second pass over the merged state catches back-edge bugs:
+        # a value still owned at the bottom of the body is rebound (and
+        # leaked) by the next iteration's allocation.
+        second = self.exec_block(body, dict(merged))
+        out = self.merge(env, second if second is not None else merged)
+        if orelse:
+            return self.exec_block(orelse, out)
+        return out
+
+    def exec_try(self, stmt: ast.Try, env: _Env) -> Optional[_Env]:
+        entry = dict(env)
+        self.try_stack.append([])
+        body_out = self.exec_block(stmt.body, env)
+        snapshots = self.try_stack.pop()
+        # A handler can run with the state of try-entry or of any
+        # raising allocation inside the body.
+        handler_in = self.merge(entry, *snapshots)
+        outs: List[Optional[_Env]] = [body_out]
+        for handler in stmt.handlers:
+            h_env = dict(handler_in)
+            if handler.name is not None:
+                h_env.pop(handler.name, None)
+            outs.append(self.exec_block(handler.body, h_env))
+        if stmt.orelse and body_out is not None:
+            outs[0] = self.exec_block(stmt.orelse, body_out)
+        live = [out for out in outs if out is not None]
+        merged = self.merge(*live) if live else None
+        if stmt.finalbody:
+            final_in = merged if merged is not None else handler_in
+            final_out = self.exec_block(stmt.finalbody, final_in)
+            return final_out if merged is not None else None
+        return merged
+
+    def capture_closure(self, stmt: ast.stmt, env: _Env) -> None:
+        """A nested def/class capturing a tracked name escapes it."""
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id in env \
+                    and isinstance(node.ctx, ast.Load):
+                states = env[node.id]
+                if _OWNED in states:
+                    env[node.id] = _ONLY_HANDED
+
+    # ------------------------------------------------------------------
+    # Expression scanning
+    # ------------------------------------------------------------------
+    def source_call(self, node: ast.expr) -> Optional[str]:
+        """'build_chain' etc. when *node* is a pool allocation call."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in _SOURCE_METHODS and \
+                _pool_receiver(func.value):
+            return func.attr
+        return None
+
+    def free_call(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in _FREE_METHODS and \
+                _pool_receiver(func.value):
+            return func.attr
+        return None
+
+    def note_raising_allocation(self, node: ast.Call, env: _Env) -> None:
+        """An allocation can raise MbufExhausted: snapshot for handlers,
+        or report values that would leak past the propagating raise."""
+        if self.try_stack:
+            self.try_stack[-1].append(dict(env))
+            return
+        for name, states in env.items():
+            if states == _ONLY_OWNED:
+                info = self.meta.get(name)
+                label = info.label(name) if info else f"'{name}'"
+                self.emit(node, "mbuf-leak",
+                          f"{label} leaks if this allocation raises "
+                          f"MbufExhausted (no enclosing try frees it)",
+                          origin_line=info.line if info else None)
+
+    def hand_off_names(self, node: ast.expr, env: _Env) -> None:
+        """Tracked names whose *value itself* escapes through *node*
+        transfer ownership out.  A name in receiver position
+        (``chain.length``, ``chain.mbufs[0]``) is only a read — the
+        chain object does not escape through it."""
+        for sub in self._escaping_names(node):
+            if sub.id in env and isinstance(sub.ctx, ast.Load):
+                if _OWNED in env[sub.id]:
+                    env[sub.id] = _ONLY_HANDED
+
+    @staticmethod
+    def _escaping_names(node: ast.expr) -> List[ast.Name]:
+        """Name nodes that flow out of *node* as whole values."""
+        found: List[ast.Name] = []
+        stack: List[ast.expr] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.Name):
+                found.append(current)
+            elif isinstance(current, (ast.Tuple, ast.List, ast.Set)):
+                stack.extend(current.elts)
+            elif isinstance(current, ast.Dict):
+                stack.extend(v for v in current.values if v is not None)
+            elif isinstance(current, ast.IfExp):
+                stack.extend((current.body, current.orelse))
+            elif isinstance(current, ast.Starred):
+                stack.append(current.value)
+            elif isinstance(current, ast.NamedExpr):
+                stack.append(current.value)
+        return found
+
+    def scan_expr(self, node: ast.expr, env: _Env,
+                  statement_value: bool = False,
+                  store_target: bool = False) -> None:
+        """Classify every use of a tracked name inside *node*."""
+        if isinstance(node, ast.Call):
+            self.scan_call(node, env, statement_value=statement_value)
+            return
+        if isinstance(node, ast.Name):
+            self.check_freed_read(node, env)
+            return
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            inner = node.value
+            if inner is not None:
+                if isinstance(inner, ast.Name) and inner.id in env:
+                    # Yielding the value itself hands it to the consumer.
+                    self.check_freed_read(inner, env)
+                    if _OWNED in env[inner.id]:
+                        env[inner.id] = _ONLY_HANDED
+                    return
+                self.scan_expr(inner, env)
+            return
+        if isinstance(node, (ast.Lambda, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.GeneratorExp)):
+            self.capture_closure_expr(node, env)
+            return
+        if isinstance(node, ast.Attribute) and store_target:
+            # `x.attr = tracked` style handled by caller; the receiver
+            # itself is just read here.
+            self.scan_expr(node.value, env)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.scan_expr(child, env)
+
+    def capture_closure_expr(self, node: ast.expr, env: _Env) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in env and \
+                    isinstance(sub.ctx, ast.Load):
+                self.check_freed_read(sub, env)
+
+    def check_freed_read(self, node: ast.Name, env: _Env) -> None:
+        states = env.get(node.id)
+        if states is not None and _FREED in states:
+            info = self.meta.get(node.id)
+            label = info.label(node.id) if info else f"'{node.id}'"
+            maybe = "may be read" if len(states) > 1 else "read"
+            self.emit(node, "mbuf-use-after-free",
+                      f"{label} {maybe} after free")
+
+    def scan_call(self, node: ast.Call, env: _Env,
+                  statement_value: bool = False) -> None:
+        source = self.source_call(node)
+        if source is not None:
+            # Pool allocation methods *borrow* their arguments
+            # (m_copy reads the chain it copies; build_chain reads the
+            # payload) — never a handoff.
+            self.scan_borrowed_args(node, env)
+            self.note_raising_allocation(node, env)
+            if statement_value:
+                self.emit(node, "mbuf-leak",
+                          f"result of {source} is discarded — the "
+                          f"allocated mbufs leak immediately")
+            return
+        free = self.free_call(node)
+        if free is not None and node.args and \
+                isinstance(node.args[0], ast.Name) and \
+                node.args[0].id in env:
+            name = node.args[0].id
+            states = env[name]
+            info = self.meta.get(name)
+            label = info.label(name) if info else f"'{name}'"
+            if _FREED in states:
+                self.emit(node, "mbuf-double-free",
+                          f"{label} already freed")
+            elif states == _ONLY_HANDED:
+                self.emit(node, "mbuf-use-after-handoff",
+                          f"{label} freed after its ownership was "
+                          f"handed off")
+            env[name] = _ONLY_FREED
+            for extra in node.args[1:]:
+                self.scan_expr(extra, env)
+            return
+        # Mutating method on a tracked value: x.append(...) / x.extend().
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in env and func.attr in _MUTATING_METHODS:
+            name = func.value.id
+            states = env[name]
+            info = self.meta.get(name)
+            label = info.label(name) if info else f"'{name}'"
+            if _FREED in states:
+                self.emit(node, "mbuf-use-after-free",
+                          f"{label} mutated after free")
+            elif states == _ONLY_HANDED:
+                self.emit(node, "mbuf-use-after-handoff",
+                          f"{label} mutated after its ownership was "
+                          f"handed off")
+            for arg in node.args:
+                # x.extend(other): other's mbufs now belong to x.
+                if isinstance(arg, ast.Name) and arg.id in env:
+                    self.check_freed_read(arg, env)
+                    if _OWNED in env[arg.id]:
+                        env[arg.id] = _ONLY_HANDED
+                else:
+                    self.scan_expr(arg, env)
+            return
+        self.scan_call_args(node, env)
+
+    def scan_borrowed_args(self, node: ast.Call, env: _Env) -> None:
+        """Scan call arguments as reads: freed values are flagged, but
+        ownership does not move."""
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            target = arg.value if isinstance(arg, ast.Starred) else arg
+            if isinstance(target, ast.Name) and target.id in env:
+                self.check_freed_read(target, env)
+            else:
+                self.scan_expr(target, env)
+
+    def scan_call_args(self, node: ast.Call, env: _Env) -> None:
+        """Bare tracked names passed to a call transfer ownership —
+        unless the callee is a borrowing builtin or the value's own
+        method (reads through the receiver are always fine)."""
+        callee = node.func
+        borrowing = isinstance(callee, ast.Name) and \
+            callee.id in _BORROW_CALLEES
+        if isinstance(callee, ast.Attribute):
+            # Method receiver: a read (chain.to_bytes() is legal while
+            # owned or handed, flagged only once freed).
+            self.scan_expr(callee.value, env)
+        elif not isinstance(callee, ast.Name):
+            self.scan_expr(callee, env)
+        args: List[ast.expr] = list(node.args)
+        args.extend(kw.value for kw in node.keywords)
+        for arg in args:
+            target = arg.value if isinstance(arg, ast.Starred) else arg
+            if isinstance(target, ast.Name) and target.id in env:
+                self.check_freed_read(target, env)
+                if not borrowing and _OWNED in env[target.id]:
+                    env[target.id] = _ONLY_HANDED
+                continue
+            self.scan_expr(target, env)
+
+
+class OwnershipAnalyzer:
+    """Run the ownership pass over sources, pragma-aware."""
+
+    def analyze_source(self, source: str, path: str) -> List[Finding]:
+        pragmas = parse_pragmas(source)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [Finding(path=path, line=error.lineno or 1,
+                            col=(error.offset or 0) + 1,
+                            rule="syntax", severity=Severity.ERROR,
+                            message=f"could not parse: {error.msg}")]
+        findings: List[Finding] = []
+        for func in self._functions(tree):
+            analyzer = _FunctionAnalyzer(path, func)
+            analyzer.run()
+            for finding, origin in zip(analyzer.findings,
+                                       analyzer.origins):
+                # A pragma works on the reported line or, for leaks, on
+                # the allocation site the finding traces back to.
+                if pragmas.allows(finding.line, finding.rule):
+                    continue
+                if origin is not None and \
+                        pragmas.allows(origin, finding.rule):
+                    continue
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def analyze_file(self, path: str) -> List[Finding]:
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.analyze_source(handle.read(), path)
+
+    def analyze_paths(self, paths: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in paths:
+            for file_path in sorted(_python_files(path)):
+                findings.extend(self.analyze_file(file_path))
+        return findings
+
+    @staticmethod
+    def _functions(tree: ast.AST) -> List[ast.AST]:
+        """Outermost function definitions (methods included); nested
+        defs are handled as closures by their enclosing analysis."""
+        found: List[ast.AST] = []
+
+        def visit(node: ast.AST, inside_function: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                is_func = isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                if is_func and not inside_function:
+                    found.append(child)
+                visit(child, inside_function or is_func)
+
+        visit(tree, False)
+        return found
+
+
+def analyze_source(source: str, path: str = "<memory>") -> List[Finding]:
+    """Module-level convenience mirroring the class API."""
+    return OwnershipAnalyzer().analyze_source(source, path)
+
+
+def analyze_paths(paths: Sequence[str]) -> List[Finding]:
+    return OwnershipAnalyzer().analyze_paths(paths)
+
+
+def ownership_rule_catalog() -> str:
+    lines = []
+    for rule_id in sorted(OWNERSHIP_RULES):
+        severity, doc = OWNERSHIP_RULES[rule_id]
+        lines.append(f"{rule_id} [{severity}]")
+        lines.append(f"    {doc}")
+    return "\n".join(lines)

@@ -154,9 +154,13 @@ class RuleSpec:
 RULES: Dict[str, RuleSpec] = {}
 
 
-def rule(rule_id: str, severity: str, zone: str, doc: str):
+_RuleFn = Callable[[LintContext], Iterable[Finding]]
+
+
+def rule(rule_id: str, severity: str, zone: str,
+         doc: str) -> Callable[[_RuleFn], _RuleFn]:
     """Register a check function under *rule_id*."""
-    def decorator(fn: Callable[[LintContext], Iterable[Finding]]):
+    def decorator(fn: _RuleFn) -> _RuleFn:
         RULES[rule_id] = RuleSpec(rule_id, severity, zone, doc, fn)
         return fn
     return decorator

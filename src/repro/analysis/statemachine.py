@@ -1,0 +1,733 @@
+"""TCP state-machine exhaustiveness checking (``repro sanitize``).
+
+The transition table is *extracted* from the implementation by AST
+analysis — every ``self.state = TCPState.X`` assignment in
+``repro/tcp/conn.py`` / ``repro/tcp/layer.py``, with its from-states
+narrowed by the guards around it — and diffed against :data:`SPEC`, a
+declared RFC 793-style transition table.  The checker flags:
+
+* spec transitions the implementation never performs
+  (``tcp-sm-unimplemented``);
+* implemented transitions the spec does not declare
+  (``tcp-sm-undeclared``);
+* transitions landing in the wrong target state
+  (``tcp-sm-wrong-target``);
+* enum states no transition can reach (``tcp-sm-unreachable``);
+* (state, event) pairs neither handled by the spec nor justified in
+  :data:`IGNORED` (``tcp-sm-unjustified-gap``) — the exhaustiveness
+  check proper;
+* state assignments the analysis cannot attribute to an entry point
+  (``tcp-sm-unattributed``) — a safety net against extractor drift.
+
+Extraction understands:
+
+* guard narrowing — ``is`` / ``is not`` / ``in`` / ``not in`` tests on
+  ``self.state`` along the enclosing if/elif chain, including the
+  negated branches, and the ``synchronized`` / ``can_receive_data`` /
+  ``can_send_data`` property sets parsed out of ``tcp/states.py``
+  (never duplicated here);
+* raise/return narrowing — ``if self.state is not X: raise`` at the
+  top of ``connect`` narrows everything after it to ``{X}``;
+* flow narrowing — a preceding ``self.state = X`` assignment in the
+  same block pins later calls to ``{X}`` (how the 2MSL timer armed by
+  ``_enter_time_wait`` is known to fire in TIME_WAIT);
+* helper propagation — assignments inside ``_close_now`` /
+  ``_enter_time_wait`` / ``_drop_connection`` bubble up through their
+  (direct or timer-deferred) call sites, intersecting from-state
+  constraints, until a function with an event classification is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["SPEC", "IGNORED", "EVENTS", "Transition",
+           "StateMachineChecker", "check_state_machine",
+           "format_transition_table"]
+
+
+# ----------------------------------------------------------------------
+# The declared transition table (RFC 793 figure 6, in this model's
+# event vocabulary).  A from-state of "sync" expands to the
+# ``TCPState.synchronized`` property set; "*" expands to every state.
+# ----------------------------------------------------------------------
+SPEC: Tuple[Tuple[str, str, str], ...] = (
+    ("CLOSED", "usr-listen", "LISTEN"),
+    ("CLOSED", "usr-connect", "SYN_SENT"),
+    # Passive open: the accepting child PCB performs LISTEN's transition.
+    ("LISTEN", "rcv-syn", "SYN_RECEIVED"),
+    # Simultaneous open.
+    ("SYN_SENT", "rcv-syn", "SYN_RECEIVED"),
+    ("SYN_SENT", "rcv-syn-ack", "ESTABLISHED"),
+    ("SYN_RECEIVED", "rcv-ack-of-syn", "ESTABLISHED"),
+    # Close initiated locally: usr_close sets fin_pending; the state
+    # change happens when tcp_output actually emits the FIN.
+    ("ESTABLISHED", "send-fin", "FIN_WAIT_1"),
+    ("CLOSE_WAIT", "send-fin", "LAST_ACK"),
+    ("ESTABLISHED", "rcv-fin", "CLOSE_WAIT"),
+    ("FIN_WAIT_1", "rcv-fin", "CLOSING"),
+    ("FIN_WAIT_2", "rcv-fin", "TIME_WAIT"),
+    ("FIN_WAIT_1", "rcv-ack-of-fin", "FIN_WAIT_2"),
+    ("CLOSING", "rcv-ack-of-fin", "TIME_WAIT"),
+    ("LAST_ACK", "rcv-ack-of-fin", "CLOSED"),
+    ("SYN_SENT", "rcv-rst", "CLOSED"),
+    ("sync", "rcv-rst", "CLOSED"),
+    ("CLOSED", "usr-close", "CLOSED"),
+    ("LISTEN", "usr-close", "CLOSED"),
+    ("SYN_SENT", "usr-close", "CLOSED"),
+    ("TIME_WAIT", "timeout-2msl", "CLOSED"),
+    ("*", "timeout-rexmt", "CLOSED"),
+)
+
+#: Every event in the vocabulary (exhaustiveness is checked per event).
+EVENTS: Tuple[str, ...] = (
+    "usr-listen", "usr-connect", "usr-close",
+    "rcv-syn", "rcv-syn-ack", "rcv-ack-of-syn",
+    "rcv-fin", "rcv-ack-of-fin", "rcv-rst",
+    "send-fin", "timeout-2msl", "timeout-rexmt",
+)
+
+#: Justified exhaustiveness gaps: (state-or-*, event, why no transition
+#: is needed).  "*" matches every state the SPEC does not cover for
+#: that event.  Anything not in SPEC and not justified here is an
+#: unjustified gap.
+IGNORED: Tuple[Tuple[str, str, str], ...] = (
+    ("*", "usr-listen",
+     "listen() on an in-use connection is rejected by the socket "
+     "layer before TCP sees it"),
+    ("*", "usr-connect",
+     "connect() raises TCPError in any non-CLOSED state (guard at the "
+     "top of TCPConnection.connect)"),
+    ("SYN_RECEIVED", "usr-close",
+     "close defers: fin_pending is set and the FIN goes out via the "
+     "send-fin transition once the handshake completes"),
+    ("ESTABLISHED", "usr-close",
+     "close defers: fin_pending is set and tcp_output performs the "
+     "send-fin transition once the send buffer drains"),
+    ("CLOSE_WAIT", "usr-close",
+     "close defers: fin_pending is set and tcp_output performs the "
+     "send-fin transition once the send buffer drains"),
+    ("*", "usr-close",
+     "already closing (FIN sent or TIME_WAIT): close is a no-op"),
+    ("SYN_RECEIVED", "rcv-syn",
+     "retransmitted SYN is re-ACKed without a state change "
+     "(tcp_input slow path)"),
+    ("*", "rcv-syn",
+     "a SYN on a synchronized or closed connection is dropped by this "
+     "model (no RFC 5961 challenge-ACK machinery in BSD 4.4 alpha)"),
+    ("*", "rcv-syn-ack",
+     "outside SYN_SENT the segment is handled by the ordinary "
+     "rcv-syn / rcv-ack-of-* paths"),
+    ("*", "rcv-ack-of-syn",
+     "an ACK of our SYN only changes state in SYN_RECEIVED; elsewhere "
+     "it is plain ACK processing"),
+    ("CLOSED", "rcv-fin",
+     "segments to a closed connection are dropped before FIN "
+     "processing"),
+    ("LISTEN", "rcv-fin",
+     "a listener never processes data or FIN segments"),
+    ("SYN_SENT", "rcv-fin",
+     "FIN cannot be accepted before the connection synchronizes "
+     "(can_receive_data guard)"),
+    ("SYN_RECEIVED", "rcv-fin",
+     "model gap vs RFC 793 (which allows SYN-RECEIVED -> CLOSE-WAIT): "
+     "a FIN is ignored until the handshake ACK arrives; the peer's "
+     "retransmitted FIN completes teardown after establishment"),
+    ("*", "rcv-fin",
+     "retransmitted FIN in a closing state is re-ACKed without a "
+     "state change"),
+    ("*", "rcv-ack-of-fin",
+     "fin_acked cannot be true unless a FIN was sent and is "
+     "unacknowledged (FIN_WAIT_1/CLOSING/LAST_ACK only)"),
+    ("CLOSED", "rcv-rst",
+     "RST to a closed connection is dropped"),
+    ("LISTEN", "rcv-rst",
+     "a listener has no connection state to reset; the RST is "
+     "dropped"),
+    ("*", "send-fin",
+     "tcp_output emits a FIN only from the data-sending states "
+     "(can_send_data: ESTABLISHED, CLOSE_WAIT)"),
+    ("*", "timeout-2msl",
+     "the 2MSL timer is armed only on entering TIME_WAIT"),
+)
+
+#: Entry-state assumptions for functions whose from-states are not
+#: derivable intraprocedurally.  passive_open runs on a freshly minted
+#: child connection — the *listener's* LISTEN state is what the RFC
+#: transition describes; create_listener installs LISTEN on a
+#: connection born CLOSED; _input_syn_sent is only dispatched from the
+#: ``state is SYN_SENT`` arm of the slow path.
+_ENTRY_STATES: Dict[str, FrozenSet[str]] = {
+    "passive_open": frozenset({"LISTEN"}),
+    "create_listener": frozenset({"CLOSED"}),
+    "_input_syn_sent": frozenset({"SYN_SENT"}),
+}
+
+#: Resolution depth cap for helper-call propagation.
+_MAX_DEPTH = 6
+
+
+class Transition:
+    """One extracted transition: from-states, event, target, location."""
+
+    __slots__ = ("froms", "event", "to", "path", "line")
+
+    def __init__(self, froms: FrozenSet[str], event: str, to: str,
+                 path: str, line: int) -> None:
+        self.froms = froms
+        self.event = event
+        self.to = to
+        self.path = path
+        self.line = line
+
+    def __repr__(self) -> str:
+        froms = ",".join(sorted(self.froms))
+        return f"<Transition {froms} --{self.event}--> {self.to}>"
+
+
+class _Constraint:
+    """A from-state constraint: a set, relative to the enclosing
+    function's entry states unless *absolute* (pinned by a preceding
+    ``self.state = X`` assignment)."""
+
+    __slots__ = ("states", "absolute")
+
+    def __init__(self, states: FrozenSet[str], absolute: bool) -> None:
+        self.states = states
+        self.absolute = absolute
+
+    def compose(self, inner: "_Constraint") -> "_Constraint":
+        """Constraint of *inner* (relative to a function entered under
+        ``self``)."""
+        if inner.absolute:
+            return inner
+        return _Constraint(self.states & inner.states, self.absolute)
+
+
+_Guard = Tuple[str, bool]  # (unparsed test text, polarity on our path)
+
+
+class _Item:
+    """A state assignment, or a call/deferred-ref to a known helper."""
+
+    __slots__ = ("kind", "name", "constraint", "guards", "node",
+                 "deferred", "func")
+
+    def __init__(self, kind: str, name: str, constraint: _Constraint,
+                 guards: Tuple[_Guard, ...], node: ast.AST,
+                 deferred: bool, func: str) -> None:
+        self.kind = kind          # "assign" | "call"
+        self.name = name          # to-state, or callee name
+        self.constraint = constraint
+        self.guards = guards
+        self.node = node
+        self.deferred = deferred
+        self.func = func
+
+
+def _parse_property_sets(states_source: str) -> Dict[str, FrozenSet[str]]:
+    """``synchronized``/``can_*`` property sets from tcp/states.py."""
+    tree = ast.parse(states_source)
+    sets: Dict[str, FrozenSet[str]] = {}
+    enum_states: List[str] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "TCPState"):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and \
+                    isinstance(stmt.targets[0], ast.Name):
+                enum_states.append(stmt.targets[0].id)
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Return) or sub.value is None:
+                    continue
+                compare = sub.value
+                if not isinstance(compare, ast.Compare) or \
+                        len(compare.ops) != 1:
+                    continue
+                op = compare.ops[0]
+                members = _state_names(compare.comparators[0])
+                if members is None:
+                    continue
+                if isinstance(op, ast.In):
+                    sets[stmt.name] = frozenset(members)
+                elif isinstance(op, ast.NotIn):
+                    sets[stmt.name] = \
+                        frozenset(enum_states) - frozenset(members)
+    sets["__all__"] = frozenset(enum_states)
+    return sets
+
+
+def _state_names(node: ast.expr) -> Optional[List[str]]:
+    """['ESTABLISHED', ...] for TCPState.X or a tuple/list of them."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and \
+            node.value.id == "TCPState":
+        return [node.attr]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for elt in node.elts:
+            sub = _state_names(elt)
+            if sub is None or len(sub) != 1:
+                return None
+            names.extend(sub)
+        return names
+    return None
+
+
+def _is_state_expr(node: ast.expr) -> bool:
+    """True for ``self.state`` / ``conn.state`` style expressions."""
+    return isinstance(node, ast.Attribute) and node.attr == "state" and \
+        isinstance(node.value, ast.Name)
+
+
+class _FileExtractor:
+    """Collect items (assignments/calls) from one source file."""
+
+    def __init__(self, path: str, source: str, known: Set[str],
+                 props: Dict[str, FrozenSet[str]]) -> None:
+        self.path = path
+        self.tree = ast.parse(source, filename=path)
+        self.known = known
+        self.props = props
+        self.all_states = props["__all__"]
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self.items: List[_Item] = []
+
+    # ------------------------------------------------------------------
+    def collect(self) -> List[_Item]:
+        for func in ast.walk(self.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if func.name == "__init__":
+                continue  # birth state, not a transition
+            self._collect_function(func)
+        return self.items
+
+    def _collect_function(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            if self._enclosing_function(node) is not func:
+                continue
+            if isinstance(node, ast.Assign):
+                to_state = self._assigned_state(node)
+                if to_state is not None:
+                    constraint, guards = self._context(node, func)
+                    self.items.append(_Item(
+                        "assign", to_state, constraint, guards, node,
+                        deferred=False, func=func.name))
+            if isinstance(node, ast.Call):
+                callee = self._known_callee(node.func)
+                if callee is not None:
+                    constraint, guards = self._context(node, func)
+                    self.items.append(_Item(
+                        "call", callee, constraint, guards, node,
+                        deferred=False, func=func.name))
+                for arg in node.args:
+                    ref = self._known_callee(arg)
+                    if ref is not None:
+                        constraint, guards = self._context(node, func)
+                        self.items.append(_Item(
+                            "call", ref, constraint, guards, node,
+                            deferred=True, func=func.name))
+
+    def _enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def _assigned_state(self, node: ast.Assign) -> Optional[str]:
+        if len(node.targets) != 1 or not _is_state_expr(node.targets[0]):
+            return None
+        names = _state_names(node.value)
+        if names is None or len(names) != 1:
+            return None
+        return names[0]
+
+    def _known_callee(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Attribute) and node.attr in self.known \
+                and isinstance(node.value, ast.Name) and \
+                node.value.id in ("self", "conn"):
+            return node.attr
+        return None
+
+    # ------------------------------------------------------------------
+    # Guard narrowing
+    # ------------------------------------------------------------------
+    def _context(self, node: ast.AST, func: ast.FunctionDef,
+                 ) -> Tuple[_Constraint, Tuple[_Guard, ...]]:
+        """(constraint, guard chain) for *node* inside *func*."""
+        states = self.all_states
+        absolute = False
+        guards: List[_Guard] = []
+        # Walk the ancestor chain from the function down to the node so
+        # outer narrowing applies first and inner assignments win.
+        chain: List[ast.AST] = []
+        current: Optional[ast.AST] = node
+        while current is not None and current is not func:
+            chain.append(current)
+            current = self.parents.get(current)
+        chain.append(func)
+        chain.reverse()
+        for parent, child in zip(chain, chain[1:]):
+            # Sibling narrowing inside any statement block.
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(parent, field, None)
+                if not isinstance(block, list) or child not in block:
+                    continue
+                for prior in block[:block.index(child)]:
+                    pinned = self._pinned_state(prior)
+                    if pinned is not None:
+                        states = frozenset({pinned})
+                        absolute = True
+                        continue
+                    narrowed = self._terminator_narrowing(prior)
+                    if narrowed is not None:
+                        states = states & narrowed
+            if isinstance(parent, ast.If):
+                result = self._eval_guard(parent.test)
+                in_body = child in parent.body
+                guards.append((ast.unparse(parent.test), in_body))
+                if result is not None:
+                    true_set, false_set = result
+                    states = states & (true_set if in_body else false_set)
+        return _Constraint(states, absolute), tuple(guards)
+
+    def _pinned_state(self, stmt: ast.stmt) -> Optional[str]:
+        if isinstance(stmt, ast.Assign):
+            return self._assigned_state(stmt)
+        return None
+
+    def _terminator_narrowing(self, stmt: ast.stmt,
+                              ) -> Optional[FrozenSet[str]]:
+        """``if <state guard>: raise/return`` narrows what follows."""
+        if not isinstance(stmt, ast.If) or stmt.orelse:
+            return None
+        if not isinstance(stmt.body[-1], (ast.Raise, ast.Return)):
+            return None
+        result = self._eval_guard(stmt.test)
+        if result is None:
+            return None
+        return result[1]  # the guard was false if we got past it
+
+    def _eval_guard(self, test: ast.expr,
+                    ) -> Optional[Tuple[FrozenSet[str], FrozenSet[str]]]:
+        """(states if true, states if false), or None if unrelated."""
+        every = self.all_states
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 and \
+                _is_state_expr(test.left):
+            names = _state_names(test.comparators[0])
+            if names is None:
+                return None
+            member = frozenset(names)
+            op = test.ops[0]
+            if isinstance(op, (ast.Is, ast.In, ast.Eq)):
+                return member, every - member
+            if isinstance(op, (ast.IsNot, ast.NotIn, ast.NotEq)):
+                return every - member, member
+            return None
+        if isinstance(test, ast.Attribute) and \
+                _is_state_expr(test.value) and test.attr in self.props:
+            prop = self.props[test.attr]
+            return prop, every - prop
+        if isinstance(test, ast.UnaryOp) and \
+                isinstance(test.op, ast.Not):
+            inner = self._eval_guard(test.operand)
+            if inner is None:
+                return None
+            return inner[1], inner[0]
+        if isinstance(test, ast.BoolOp):
+            parts = [self._eval_guard(v) for v in test.values]
+            related = [p for p in parts if p is not None]
+            if not related:
+                return None
+            if isinstance(test.op, ast.And):
+                true_set = every
+                for part in related:
+                    true_set = true_set & part[0]
+                # Any conjunct may be the false one: no conclusion.
+                return true_set, every
+            if len(related) == len(parts):  # Or over state guards only
+                true_set = frozenset()
+                false_set = every
+                for part in related:
+                    true_set = true_set | part[0]
+                    false_set = false_set & part[1]
+                return true_set, false_set
+        return None
+
+
+class StateMachineChecker:
+    """Extract the implemented transition table and diff it vs SPEC."""
+
+    def __init__(self,
+                 sources: Optional[Sequence[Tuple[str, str]]] = None,
+                 states_source: Optional[str] = None,
+                 spec: Sequence[Tuple[str, str, str]] = SPEC,
+                 ignored: Sequence[Tuple[str, str, str]] = IGNORED,
+                 events: Sequence[str] = EVENTS,
+                 entry_states: Optional[Dict[str, FrozenSet[str]]] = None,
+                 ) -> None:
+        if sources is None or states_source is None:
+            conn_path, layer_path, states_path = _default_paths()
+            sources = [(conn_path, _read(conn_path)),
+                       (layer_path, _read(layer_path))]
+            states_source = _read(states_path)
+        self.sources = list(sources)
+        self.props = _parse_property_sets(states_source)
+        self.all_states = self.props["__all__"]
+        self.spec = list(spec)
+        self.ignored = list(ignored)
+        self.events = list(events)
+        self.entry_states = dict(_ENTRY_STATES if entry_states is None
+                                 else entry_states)
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def extract(self) -> Tuple[List[Transition], List[Finding]]:
+        """(transitions, unattributed-assignment findings)."""
+        known: Set[str] = set()
+        trees: List[_FileExtractor] = []
+        for path, source in self.sources:
+            tree = ast.parse(source)
+            for node in ast.walk(tree):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    known.add(node.name)
+        items: List[_Item] = []
+        item_paths: Dict[int, str] = {}
+        for path, source in self.sources:
+            extractor = _FileExtractor(path, source, known, self.props)
+            for item in extractor.collect():
+                items.append(item)
+                item_paths[id(item)] = path
+        # Reverse call graph: callee -> call-site items.
+        call_sites: Dict[str, List[_Item]] = {}
+        for item in items:
+            if item.kind == "call":
+                call_sites.setdefault(item.name, []).append(item)
+
+        transitions: List[Transition] = []
+        problems: List[Finding] = []
+        for item in items:
+            if item.kind != "assign":
+                continue
+            path = item_paths[id(item)]
+            resolved = self._resolve(
+                item.func, item.constraint, item.guards, item.deferred,
+                call_sites, depth=0, visited=frozenset())
+            if not resolved:
+                problems.append(Finding(
+                    path=path, line=getattr(item.node, "lineno", 1),
+                    col=getattr(item.node, "col_offset", 0) + 1,
+                    rule="tcp-sm-unattributed", severity=Severity.ERROR,
+                    message=(f"state assignment to {item.name} in "
+                             f"{item.func} cannot be attributed to any "
+                             f"entry point/event")))
+                continue
+            for from_set, event in resolved:
+                transitions.append(Transition(
+                    froms=from_set, event=event, to=item.name,
+                    path=path, line=getattr(item.node, "lineno", 1)))
+        return transitions, problems
+
+    def _resolve(self, func: str, constraint: _Constraint,
+                 guards: Tuple[_Guard, ...], deferred: bool,
+                 call_sites: Dict[str, List[_Item]], depth: int,
+                 visited: FrozenSet[str],
+                 ) -> List[Tuple[FrozenSet[str], str]]:
+        """Bubble (func, constraint) up to event-classified entries."""
+        if depth > _MAX_DEPTH or func in visited:
+            return []
+        event = self._classify(func, guards, deferred)
+        if event is not None:
+            from_set = constraint.states
+            entry = self.entry_states.get(func)
+            if entry is not None and not constraint.absolute:
+                from_set = entry if from_set == self.all_states \
+                    else from_set & entry
+            return [(from_set, event)]
+        results: List[Tuple[FrozenSet[str], str]] = []
+        for site in call_sites.get(func, []):
+            composed = site.constraint.compose(constraint)
+            results.extend(self._resolve(
+                site.func, composed, site.guards, site.deferred,
+                call_sites, depth + 1, visited | {func}))
+        return results
+
+    # ------------------------------------------------------------------
+    # Event classification
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _classify(func: str, guards: Tuple[_Guard, ...],
+                  deferred: bool) -> Optional[str]:
+        positive = [text for text, polarity in guards if polarity]
+
+        def holds(fragment: str) -> bool:
+            return any(fragment in text for text in positive)
+
+        if func == "connect":
+            return "usr-connect"
+        if func == "create_listener":
+            return "usr-listen"
+        if func == "usr_close":
+            return "usr-close"
+        if func == "passive_open":
+            return "rcv-syn"
+        if func == "_input_syn_sent":
+            return "rcv-syn-ack" if holds("TCPFlags.ACK") else "rcv-syn"
+        if func == "_emit_segment":
+            return "send-fin"
+        if func == "_process_ack":
+            return "rcv-ack-of-fin" if holds("fin_acked") \
+                else "rcv-ack-of-syn"
+        if func in ("_slow_path", "_fast_path", "input"):
+            if holds("TCPFlags.RST"):
+                return "rcv-rst"
+            if holds("fin"):
+                return "rcv-fin"
+            return None
+        if func == "_rtx_fire":
+            return "timeout-rexmt"
+        if func == "_enter_time_wait" and deferred:
+            return "timeout-2msl"
+        return None
+
+    # ------------------------------------------------------------------
+    # Spec diffing
+    # ------------------------------------------------------------------
+    def _expand_from(self, pattern: str) -> FrozenSet[str]:
+        if pattern == "*":
+            return self.all_states
+        if pattern == "sync":
+            return self.props.get("synchronized", frozenset())
+        return frozenset({pattern})
+
+    def check(self) -> List[Finding]:
+        transitions, findings = self.extract()
+        anchor_path = self.sources[0][0] if self.sources else "<spec>"
+
+        def spec_finding(rule: str, message: str) -> Finding:
+            return Finding(path=anchor_path, line=1, col=1, rule=rule,
+                           severity=Severity.ERROR, message=message)
+
+        # Expand both tables to per-(state, event) -> target sets.
+        declared: Dict[Tuple[str, str], Set[str]] = {}
+        for from_pattern, event, to in self.spec:
+            for state in self._expand_from(from_pattern):
+                declared.setdefault((state, event), set()).add(to)
+        implemented: Dict[Tuple[str, str], Set[str]] = {}
+        where: Dict[Tuple[str, str], Transition] = {}
+        for transition in transitions:
+            for state in transition.froms:
+                key = (state, transition.event)
+                implemented.setdefault(key, set()).add(transition.to)
+                where.setdefault(key, transition)
+
+        for key in sorted(declared):
+            state, event = key
+            if key not in implemented:
+                findings.append(spec_finding(
+                    "tcp-sm-unimplemented",
+                    f"declared transition {state} --{event}--> "
+                    f"{'/'.join(sorted(declared[key]))} is not "
+                    f"implemented"))
+            elif implemented[key] != declared[key]:
+                transition = where[key]
+                findings.append(Finding(
+                    path=transition.path, line=transition.line, col=1,
+                    rule="tcp-sm-wrong-target", severity=Severity.ERROR,
+                    message=(f"{state} --{event}--> "
+                             f"{'/'.join(sorted(implemented[key]))} "
+                             f"implemented, spec declares "
+                             f"{'/'.join(sorted(declared[key]))}")))
+        for key in sorted(implemented):
+            if key in declared:
+                continue
+            state, event = key
+            transition = where[key]
+            findings.append(Finding(
+                path=transition.path, line=transition.line, col=1,
+                rule="tcp-sm-undeclared", severity=Severity.ERROR,
+                message=(f"implemented transition {state} --{event}--> "
+                         f"{'/'.join(sorted(implemented[key]))} is not "
+                         f"in the declared spec")))
+
+        # Unreachable states: never the target of any transition.
+        targets = {t.to for t in transitions}
+        initial = "CLOSED"
+        for state in sorted(self.all_states):
+            if state != initial and state not in targets:
+                findings.append(spec_finding(
+                    "tcp-sm-unreachable",
+                    f"state {state} is never the target of any "
+                    f"implemented transition"))
+
+        # Exhaustiveness: every (state, event) pair must be declared or
+        # justified.
+        exact_ignores = {(state, event) for state, event, _ in
+                         self.ignored if state != "*"}
+        wildcard_ignores = {event for state, event, _ in self.ignored
+                            if state == "*"}
+        for event in self.events:
+            for state in sorted(self.all_states):
+                key = (state, event)
+                if key in declared or key in exact_ignores or \
+                        event in wildcard_ignores:
+                    continue
+                findings.append(spec_finding(
+                    "tcp-sm-unjustified-gap",
+                    f"event {event} is unhandled in state {state} and "
+                    f"no justification is declared (IGNORED)"))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule,
+                                     f.message))
+        return findings
+
+
+def _default_paths() -> Tuple[str, str, str]:
+    import repro.tcp.conn
+    import repro.tcp.layer
+    import repro.tcp.states
+    return (repro.tcp.conn.__file__, repro.tcp.layer.__file__,
+            repro.tcp.states.__file__)
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def check_state_machine() -> List[Finding]:
+    """Diff the implemented TCP transition table against SPEC."""
+    return StateMachineChecker().check()
+
+
+def format_transition_table() -> str:
+    """Human-readable extracted transition table (CLI display)."""
+    checker = StateMachineChecker()
+    transitions, problems = checker.extract()
+    rows: List[str] = []
+    expanded: Set[Tuple[str, str, str, str, int]] = set()
+    for t in transitions:
+        for state in t.froms:
+            expanded.add((state, t.event, t.to,
+                          os.path.basename(t.path), t.line))
+    for state, event, to, base, line in sorted(expanded):
+        rows.append(f"{state:13s} --{event + '-->':18s} {to:13s} "
+                    f"({base}:{line})")
+    for problem in problems:
+        rows.append(problem.format())
+    return "\n".join(rows)

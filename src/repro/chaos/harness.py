@@ -29,6 +29,7 @@ from repro.analysis.invariants import (
     check_ipq_conservation,
     check_mbuf_conservation,
     check_rexmt_backoff_bounded,
+    check_timer_sanity,
 )
 from repro.analysis.racecheck import (
     DEFAULT_PERTURBATIONS,
@@ -176,8 +177,13 @@ def run_chaos_cell(size: int = 1400, loss: float = 0.0,
     result.violations.extend(hooks.violations)
     for host in testbed.hosts:
         result.violations.extend(check_ipq_conservation(host))
+        # With REPRO_SANITIZE=1 / KernelConfig.sanitize the mbuf check
+        # also names each leaked allocation's site (leak-at-quiesce
+        # audit), and the timer sanitizer reports callbacks that fired
+        # on closed connections.
         result.violations.extend(check_mbuf_conservation(host))
         result.violations.extend(check_rexmt_backoff_bounded(host))
+        result.violations.extend(check_timer_sanity(host))
 
     result.injected = impairments.stats.as_dict()
     result.log_lines = log.format().splitlines()

@@ -6,9 +6,11 @@ Each experiment in the paper boots a differently configured kernel; a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
+
+from repro.mem.sanitize import sanitize_enabled
 
 __all__ = ["ChecksumMode", "PcbLookup", "KernelConfig"]
 
@@ -89,6 +91,11 @@ class KernelConfig:
     #: How long ``sosend`` sleeps in ``m_wait`` before retrying when the
     #: mbuf pool is exhausted (only reachable with an MbufPool limit).
     mbuf_wait_us: float = 1_000.0
+    #: Runtime sanitizer (repro.mem.sanitize): allocation provenance,
+    #: poison-on-free, leak-at-quiesce audits, timer-on-closed-conn
+    #: detection.  Defaults to the ``REPRO_SANITIZE`` environment
+    #: opt-in; never changes modelled costs or timing.
+    sanitize: bool = field(default_factory=sanitize_enabled)
 
     def with_overrides(self, **kwargs) -> "KernelConfig":
         """A copy with some fields replaced."""

@@ -46,7 +46,7 @@ class Host:
         self.cpu = CPU(sim, f"{name}.cpu")
         self.clock = ClockCard(sim)
         self.tracer = SpanTracer(self.clock)
-        self.pool = MbufPool(self.costs)
+        self.pool = MbufPool(self.costs, sanitize=self.config.sanitize)
         self.scheduler = ProcessScheduler(sim, self.cpu, self.costs,
                                           self.tracer)
         self.softnet = SoftNet(sim, self.cpu, self.costs, self.tracer)

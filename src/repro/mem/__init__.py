@@ -8,16 +8,28 @@ from repro.mem.mbuf import (
     Mbuf,
     MbufChain,
     MbufError,
+    MbufExhausted,
     MbufPool,
+)
+from repro.mem.sanitize import (
+    POISON_BYTE,
+    MbufProvenance,
+    MbufSanitizer,
+    sanitize_enabled,
 )
 
 __all__ = [
     "CLUSTER_THRESHOLD",
     "MBUF_DATA_SIZE",
     "MCLBYTES",
+    "POISON_BYTE",
     "ClusterStorage",
     "Mbuf",
     "MbufChain",
     "MbufError",
+    "MbufExhausted",
     "MbufPool",
+    "MbufProvenance",
+    "MbufSanitizer",
+    "sanitize_enabled",
 ]

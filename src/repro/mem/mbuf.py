@@ -20,9 +20,13 @@ to the exact byte sequence that gets checksummed and put on the wire.
 from __future__ import annotations
 
 from sys import getrefcount as _refcount
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple, Union
 
+from repro.mem.sanitize import MbufProvenance, MbufSanitizer, sanitize_enabled
 from repro.sim.engine import us as _us
+
+if TYPE_CHECKING:
+    from repro.hw.costs import MachineCosts
 
 __all__ = [
     "MBUF_DATA_SIZE",
@@ -98,10 +102,11 @@ class Mbuf:
     in the mbuf header while copying it in, for TCP to combine later.
     """
 
-    __slots__ = ("_data", "cluster", "partial_sum", "freed", "lineage")
+    __slots__ = ("_data", "cluster", "partial_sum", "freed", "lineage",
+                 "san")
 
     def __init__(self, data: Buffer = b"",
-                 cluster: Optional[ClusterStorage] = None):
+                 cluster: Optional[ClusterStorage] = None) -> None:
         if cluster is not None:
             self._data = None
             self.cluster = cluster
@@ -118,7 +123,11 @@ class Mbuf:
         #: Causal lineage tag (repro.obs.lineage record), duck-typed;
         #: None on every unobserved run.  Propagated by m_copy so TCP's
         #: retransmission copy keeps the originating write's identity.
-        self.lineage = None
+        self.lineage: Any = None
+        #: Sanitizer provenance (repro.mem.sanitize.MbufProvenance):
+        #: allocation site + generation, filled in by a sanitizing pool;
+        #: None on every non-sanitized run.
+        self.san: Optional[MbufProvenance] = None
 
     @property
     def is_cluster(self) -> bool:
@@ -127,6 +136,8 @@ class Mbuf:
     @property
     def data(self) -> bytes:
         if self.freed:
+            if self.san is not None:
+                raise MbufError(f"use after free: {self.san.describe()}")
             raise MbufError("use after free")
         if self.cluster is not None:
             return self.cluster.data
@@ -233,8 +244,18 @@ class MbufPool:
     use-after-free detection still fires for retained references.
     """
 
-    def __init__(self, costs, limit: Optional[int] = None) -> None:
+    def __init__(self, costs: "MachineCosts", limit: Optional[int] = None,
+                 sanitize: Optional[bool] = None) -> None:
         self.costs = costs
+        #: Runtime sanitizer (repro.mem.sanitize): allocation-site
+        #: provenance, generation counters, poison-on-free, and the
+        #: leak-at-quiesce live table.  ``None`` (the default, unless
+        #: ``REPRO_SANITIZE=1`` is set) costs one attribute test per
+        #: alloc/free; modelled costs never change either way.
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer: Optional[MbufSanitizer] = (
+            MbufSanitizer() if sanitize else None)
         #: Optional capacity cap in mbufs (normal + cluster alike).
         #: ``None`` (the default) keeps the historical unbounded
         #: behaviour; when set, allocations beyond the cap raise
@@ -254,7 +275,7 @@ class MbufPool:
         self._free: List[Mbuf] = []
         #: ScopedMetrics view, installed by Observer.attach_host();
         #: None (one attribute test per operation) when unobserved.
-        self.metrics = None
+        self.metrics: Any = None
 
     @property
     def free_list_depth(self) -> int:
@@ -280,8 +301,9 @@ class MbufPool:
                 mbuf.cluster = None
             mbuf.partial_sum = None
             mbuf.freed = False
-            # lineage is already None: free() clears it before a header
-            # enters the free list, and __init__ starts it cleared.
+            # lineage and san are already None: free() clears both
+            # before a header enters the free list, and __init__ starts
+            # them cleared.
             self.reused += 1
             if self.metrics is not None:
                 self.metrics.inc("mbuf.reuses")
@@ -344,14 +366,14 @@ class MbufPool:
         """Allocate a normal mbuf holding *data*; returns (mbuf, cost_ns)."""
         self._check_limit()
         mbuf = self._reuse_or_new(data, None)
-        self._count_alloc(cluster=False)
+        self._count_alloc(mbuf, cluster=False)
         return mbuf, self.costs.mbuf_alloc_ns()
 
     def alloc_cluster(self, data: Buffer) -> Tuple[Mbuf, int]:
         """Allocate a cluster mbuf holding *data*; returns (mbuf, cost_ns)."""
         self._check_limit()
         mbuf = self._reuse_or_new(b"", ClusterStorage(bytes(data)))
-        self._count_alloc(cluster=True)
+        self._count_alloc(mbuf, cluster=True)
         return mbuf, self.costs.mbuf_alloc_ns()
 
     def free(self, mbuf: Mbuf) -> int:
@@ -363,17 +385,24 @@ class MbufPool:
         stays live so its ``freed`` flag keeps use-after-free
         detection intact.
         """
+        sanitizer = self.sanitizer
         if mbuf.freed:
+            if sanitizer is not None:
+                raise MbufError(sanitizer.double_free_message(mbuf))
             raise MbufError("double free")
         mbuf.freed = True
+        storage_dead = False
         if mbuf.cluster is not None:
-            mbuf.cluster.unref()
+            storage_dead = mbuf.cluster.unref()
         self.freed += 1
+        if sanitizer is not None:
+            sanitizer.note_free(mbuf, storage_dead=storage_dead)
         if _refcount(mbuf) == 2 and len(self._free) < _FREE_LIST_MAX:
             mbuf._data = b""  # noqa: SLF001 - drop data refs eagerly
             mbuf.cluster = None
             mbuf.partial_sum = None
             mbuf.lineage = None
+            mbuf.san = None
             self._free.append(mbuf)
         return self.costs.mbuf_free_ns()
 
@@ -387,11 +416,13 @@ class MbufPool:
             total += self.free(mbufs.pop())
         return total
 
-    def _count_alloc(self, cluster: bool) -> None:
+    def _count_alloc(self, mbuf: Mbuf, cluster: bool) -> None:
         self.allocated += 1
         if cluster:
             self.cluster_allocated += 1
         self.high_water = max(self.high_water, self.in_use)
+        if self.sanitizer is not None:
+            self.sanitizer.note_alloc(mbuf, cluster=cluster)
         if self.metrics is not None:
             self.metrics.inc("mbuf.allocations")
 
@@ -474,7 +505,7 @@ class MbufPool:
                     shared = Mbuf(cluster=mbuf.cluster.ref())
                     shared.partial_sum = mbuf.partial_sum
                     shared.lineage = mbuf.lineage
-                    self._count_alloc(cluster=True)
+                    self._count_alloc(shared, cluster=True)
                     cost += _us(self.costs.cluster_ref_us)
                     new_chain.append(shared)
                 elif mbuf.is_cluster:
@@ -485,7 +516,7 @@ class MbufPool:
                     shared = Mbuf(cluster=ClusterStorage(
                         mbuf.data[start:start + take]))
                     shared.lineage = mbuf.lineage
-                    self._count_alloc(cluster=True)
+                    self._count_alloc(shared, cluster=True)
                     cost += _us(self.costs.cluster_ref_us)
                     new_chain.append(shared)
                 else:
@@ -530,7 +561,15 @@ class MbufPool:
                 # Trim within the mbuf (no alloc/free).
                 keep = head.data[remaining:]
                 if head.is_cluster:
+                    # Replacing the page with the trimmed slice drops
+                    # this header's share of the old storage; without
+                    # the unref, a page shared with an m_copy'd chain
+                    # (TCP's retransmission copy) never reaches zero
+                    # references and the page leaks.
+                    old = head.cluster
                     head.cluster = ClusterStorage(keep)
+                    assert old is not None
+                    old.unref()
                 else:
                     head._data = keep  # noqa: SLF001 - pool owns mbufs
                 head.partial_sum = None

@@ -1,0 +1,167 @@
+"""Runtime mbuf sanitizer: provenance, generation counters, poison.
+
+Opt-in via ``MbufPool(sanitize=True)`` or ``REPRO_SANITIZE=1``.  The
+sanitizer never changes modelled costs or allocator behaviour — runs
+are byte-identical with it on or off — it only *remembers* more:
+
+* every allocation records its call site (the first stack frame outside
+  the allocator) and a monotonically increasing generation counter;
+* frees poison the payload of any header the caller retains, so stale
+  pointers read ``0xdd`` garbage instead of plausible old data;
+* double-free and use-after-free errors cite where the mbuf was
+  allocated and where it was first freed, not just that it happened;
+* live allocations can be audited at quiesce — the chaos harness's
+  conservation check names the allocation site of every leaked mbuf;
+* TCP timer callbacks that fire on a closed connection are recorded as
+  violations instead of silently doing nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import TYPE_CHECKING, AbstractSet, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.mem.mbuf import Mbuf
+
+__all__ = [
+    "POISON_BYTE",
+    "MbufProvenance",
+    "MbufSanitizer",
+    "capture_site",
+    "sanitize_enabled",
+]
+
+#: Byte scribbled over freed payloads (the low byte of 0xdeadbeef's
+#: spiritual successor; BSD kernels use similar junk-fill patterns).
+POISON_BYTE = 0xDD
+
+#: Frames whose filename ends with one of these belong to the allocator
+#: itself and are skipped when attributing an allocation/free site.
+_SKIP_SUFFIXES = (os.sep + "mbuf.py", os.sep + "sanitize.py")
+
+
+def sanitize_enabled(default: bool = False) -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for the sanitizer (env opt-in)."""
+    value = os.environ.get("REPRO_SANITIZE")
+    if value is None:
+        return default
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def _shorten(path: str) -> str:
+    """Trim an absolute filename down to its repro-relative tail."""
+    marker = "repro" + os.sep
+    idx = path.rfind(marker)
+    if idx >= 0:
+        return path[idx:]
+    return os.path.basename(path)
+
+
+def capture_site() -> str:
+    """The nearest stack frame outside the allocator, as ``file:line``."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        code = frame.f_code
+        if not code.co_filename.endswith(_SKIP_SUFFIXES):
+            return (f"{_shorten(code.co_filename)}:{frame.f_lineno} "
+                    f"in {code.co_name}")
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class MbufProvenance:
+    """Where one mbuf came from (and, once freed, where it went)."""
+
+    __slots__ = ("alloc_site", "free_site", "generation", "cluster")
+
+    def __init__(self, alloc_site: str, generation: int,
+                 cluster: bool) -> None:
+        self.alloc_site = alloc_site
+        self.free_site: Optional[str] = None
+        self.generation = generation
+        self.cluster = cluster
+
+    def describe(self) -> str:
+        kind = "cluster mbuf" if self.cluster else "mbuf"
+        text = f"{kind} gen={self.generation} allocated at {self.alloc_site}"
+        if self.free_site is not None:
+            text += f", freed at {self.free_site}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<MbufProvenance {self.describe()}>"
+
+
+class MbufSanitizer:
+    """Per-pool sanitizer state: live table, generations, violations."""
+
+    __slots__ = ("generation", "live", "timer_violations")
+
+    def __init__(self) -> None:
+        #: Monotonic allocation counter; each mbuf's provenance carries
+        #: the generation it was (re)allocated under, so an error after
+        #: header recycling still names the *current* owner.
+        self.generation = 0
+        #: id(mbuf) -> provenance for every allocation not yet freed.
+        #: Only ids are held — the sanitizer never keeps an mbuf alive
+        #: (the free-list refcount guard depends on that).
+        self.live: Dict[int, MbufProvenance] = {}
+        #: Timer callbacks observed firing on closed connections
+        #: (recorded by repro.tcp.conn when the sanitizer is active).
+        self.timer_violations: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Allocator hooks (called by MbufPool under sanitize=True)
+    # ------------------------------------------------------------------
+    def note_alloc(self, mbuf: "Mbuf", cluster: bool) -> None:
+        self.generation += 1
+        record = MbufProvenance(capture_site(), self.generation, cluster)
+        mbuf.san = record
+        self.live[id(mbuf)] = record
+
+    def note_free(self, mbuf: "Mbuf", storage_dead: bool) -> None:
+        record = mbuf.san
+        if record is not None:
+            record.free_site = capture_site()
+            self.live.pop(id(mbuf), None)
+        # Poison retained payloads so stale readers see garbage, not
+        # plausible old bytes.  Cluster pages are only poisoned once
+        # their last reference dropped — another live mbuf may still
+        # legitimately share the storage.
+        if mbuf.cluster is None:
+            data = mbuf._data  # noqa: SLF001 - sanitizer is part of the pool
+            if data:
+                mbuf._data = bytes((POISON_BYTE,)) * len(data)  # noqa: SLF001
+        elif storage_dead:
+            storage = mbuf.cluster
+            storage.data = bytes((POISON_BYTE,)) * len(storage.data)
+
+    # ------------------------------------------------------------------
+    # Error enrichment
+    # ------------------------------------------------------------------
+    def double_free_message(self, mbuf: "Mbuf") -> str:
+        record = mbuf.san
+        if record is None:
+            return "double free"
+        return f"double free at {capture_site()}: {record.describe()}"
+
+    # ------------------------------------------------------------------
+    # Audits
+    # ------------------------------------------------------------------
+    def record_timer_violation(self, description: str) -> None:
+        self.timer_violations.append(description)
+
+    def live_report(self,
+                    exclude_ids: AbstractSet[int] = frozenset(),
+                    ) -> List[str]:
+        """Provenance of live allocations, minus legitimately-held ids.
+
+        At quiesce, mbufs parked in socket buffers are expected; pass
+        their ids in *exclude_ids* and anything left is a leak, named
+        by its allocation site.
+        """
+        return [record.describe()
+                for mbuf_id, record in self.live.items()
+                if mbuf_id not in exclude_ids]

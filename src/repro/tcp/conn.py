@@ -34,6 +34,7 @@ from repro.net.packet import Packet, build_tcp_packet
 from repro.sim.cpu import Priority
 from repro.sim.engine import us
 from repro.kern.config import ChecksumMode
+from repro.socket.sockbuf import SockBufError
 from repro.tcp.options import ALT_CKSUM_NONE, TCPOptions
 from repro.tcp.partials import Coverage, coverage_for_span
 from repro.tcp.reassembly import ReassemblyQueue
@@ -671,7 +672,13 @@ class TCPConnection:
                 self._append_receive_data(data, lineage=packet.lineage)
                 if not self.reassembly.empty:
                     drained, new_nxt = self.reassembly.drain(self.rcv_nxt)
-                    if drained and self.host.pool.can_admit(len(drained)):
+                    # Admission must check the socket buffer as well as
+                    # the pool: a drained run larger than so_rcv's free
+                    # space would blow sbappend's high-water check after
+                    # the chain was already built.
+                    if drained and \
+                            len(drained) <= self.socket.so_rcv.space and \
+                            self.host.pool.can_admit(len(drained)):
                         self.rcv_nxt = new_nxt
                         self._append_receive_data(drained)
                     elif drained:
@@ -834,7 +841,14 @@ class TCPConnection:
             # the read syscall can name the segments it delivers.
             for mbuf in chain.mbufs:
                 mbuf.lineage = lineage
-        self.socket.so_rcv.append(chain)
+        try:
+            self.socket.so_rcv.append(chain)
+        except SockBufError:
+            # sbappend refused the chain (receive buffer overflow):
+            # release it, or the mbufs leak — callers treat the failure
+            # like a dropped segment and let the peer retransmit.
+            self.host.pool.free_chain(chain)
+            raise
         self.stats.bytes_received += len(data)
 
     def _note_delack(self) -> None:
@@ -973,8 +987,25 @@ class TCPConnection:
         self._rtt_seq = None
         self._rtt_start_ns = None
 
+    def _sanitize_timer_fire(self, name: str) -> None:
+        """Timer sanitizer: flag callbacks firing on a closed connection.
+
+        ``_close_now`` cancels every timer, so a fire after CLOSED means
+        a cancellation path was missed — the class of bug that becomes a
+        crash (or a retransmission of freed mbufs) on a real kernel.
+        Detection only: behaviour is unchanged so sanitized runs stay
+        byte-identical.
+        """
+        if self.state is not TCPState.CLOSED:
+            return
+        sanitizer = self.host.pool.sanitizer
+        if sanitizer is not None:
+            sanitizer.record_timer_violation(
+                f"{name} timer fired on closed connection {self!r}")
+
     def _rtx_fire(self) -> None:
         self._rtx_timer = None
+        self._sanitize_timer_fire("rexmt")
         self._rtx_shift += 1
         self.stats.rtx_shift_max = max(self.stats.rtx_shift_max,
                                        self._rtx_shift)
@@ -1046,6 +1077,7 @@ class TCPConnection:
 
     def _persist_fire(self) -> None:
         self._persist_timer = None
+        self._sanitize_timer_fire("persist")
         if (self.snd_wnd > 0 or self.socket.so_snd.cc == 0
                 or not self.state.can_send_data):
             return
@@ -1091,6 +1123,7 @@ class TCPConnection:
 
     def _delack_fire(self) -> None:
         self._delack_timer = None
+        self._sanitize_timer_fire("delack")
         if not self.delack_pending:
             return
         self.delack_pending = False

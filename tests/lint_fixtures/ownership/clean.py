@@ -1,0 +1,33 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: real ownership idioms that must NOT be flagged."""
+
+
+def enobufs_cleanup(pool, data):
+    chain, _cost = pool.build_chain(data, False)
+    try:
+        copy, _cost = pool.m_copy(chain, 0, 10)
+    except Exception:
+        pool.free_chain(chain)
+        raise
+    pool.free_chain(copy)
+    pool.free_chain(chain)
+
+
+def append_with_release_on_refusal(pool, sockbuf, data):
+    chain, _cost = pool.build_chain(data, False)
+    try:
+        sockbuf.append(chain)
+    except Exception:
+        pool.free_chain(chain)
+        raise
+
+
+def loop_frees_each_iteration(pool, blobs):
+    for blob in blobs:
+        mbuf, _cost = pool.alloc(blob)
+        pool.free(mbuf)
+
+
+def suppressed_leak(pool, data):
+    chain, _cost = pool.build_chain(data, False)  # repro: allow(mbuf-leak)
+    return len(data)

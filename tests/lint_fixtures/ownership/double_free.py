@@ -1,0 +1,36 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: values consumed twice or read after consumption."""
+
+
+def double_free(pool, data):
+    mbuf, _cost = pool.alloc(data)
+    pool.free(mbuf)
+    pool.free(mbuf)
+
+
+def double_free_via_alias(pool, data):
+    chain, _cost = pool.build_chain(data, False)
+    alias = chain
+    pool.free_chain(alias)
+    pool.free_chain(chain)
+
+
+def use_after_free(pool, data):
+    chain, _cost = pool.build_chain(data, False)
+    pool.free_chain(chain)
+    return chain.length
+
+
+def conditional_double_free(pool, data, flag):
+    mbuf, _cost = pool.alloc(data)
+    if flag:
+        pool.free(mbuf)
+    pool.free(mbuf)
+
+
+def ok_free_once_per_path(pool, data, flag):
+    mbuf, _cost = pool.alloc(data)
+    if flag:
+        pool.free(mbuf)
+    else:
+        pool.free(mbuf)

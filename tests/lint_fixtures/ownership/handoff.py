@@ -1,0 +1,36 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: ownership moves to another layer; stale aliases must die."""
+
+
+def free_after_handoff(pool, sockbuf, data):
+    chain, _cost = pool.build_chain(data, False)
+    sockbuf.append(chain)
+    pool.free_chain(chain)
+
+
+def mutate_after_return_is_fine_but_free_is_not(pool, data, queue):
+    chain, _cost = pool.build_chain(data, False)
+    queue.extend(chain)
+    pool.free_chain(chain)
+
+
+def ok_handoff_to_sockbuf(pool, sockbuf, data):
+    chain, _cost = pool.build_chain(data, False)
+    sockbuf.append(chain)
+
+
+def ok_handoff_by_return(pool, data):
+    chain, _cost = pool.build_chain(data, False)
+    return chain
+
+
+def ok_handoff_to_attribute(pool, data, conn):
+    chain, _cost = pool.build_chain(data, False)
+    conn.pending = chain
+
+
+def ok_borrowing_reads_do_not_move(pool, sockbuf, data):
+    chain, _cost = pool.build_chain(data, False)
+    total = len(chain.mbufs) + chain.length
+    sockbuf.append(chain)
+    return total

@@ -1,0 +1,41 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: chains that can escape while still owned."""
+
+
+def leak_on_fall_off(pool, data):
+    chain, _cost = pool.build_chain(data, False)
+    return len(data)
+
+
+def leak_on_early_return(pool, data, want):
+    chain, _cost = pool.build_chain(data, False)
+    if not want:
+        return None
+    pool.free_chain(chain)
+    return None
+
+
+def leak_on_exception_path(pool, data):
+    chain, _cost = pool.build_chain(data, False)
+    copy, _cost = pool.m_copy(chain, 0, 10)
+    pool.free_chain(copy)
+    pool.free_chain(chain)
+
+
+def leak_by_rebinding(pool, data):
+    mbuf, _cost = pool.alloc(data)
+    mbuf, _cost = pool.alloc(data)
+    pool.free(mbuf)
+
+
+def leak_discarded_result(pool, data):
+    pool.alloc(data)
+
+
+def ok_freed_everywhere(pool, data, want):
+    chain, _cost = pool.build_chain(data, False)
+    if not want:
+        pool.free_chain(chain)
+        return None
+    pool.free_chain(chain)
+    return None

@@ -1,0 +1,29 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: spec violations — connect lands in the wrong state
+(ESTABLISHED instead of SYN_SENT, which also strands SYN_SENT as
+unreachable), and the listener transition is missing entirely
+(unimplemented + LISTEN unreachable)."""
+
+
+class Conn:
+    def connect(self):
+        if self.state is not TCPState.CLOSED:
+            raise TCPError("already in use")
+        self.state = TCPState.ESTABLISHED
+
+    def _input_syn_sent(self, flags):
+        if flags & TCPFlags.ACK:
+            self.state = TCPState.ESTABLISHED
+
+    def _rtx_fire(self):
+        self._close_now()
+
+    def usr_close(self):
+        if self.state in (TCPState.CLOSED, TCPState.LISTEN):
+            self._close_now()
+            return
+        if self.state is TCPState.SYN_SENT:
+            self._close_now()
+
+    def _close_now(self):
+        self.state = TCPState.CLOSED

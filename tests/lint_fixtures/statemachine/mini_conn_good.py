@@ -1,0 +1,31 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: a connection whose transitions match MINI_SPEC exactly."""
+
+
+class Conn:
+    def connect(self):
+        if self.state is not TCPState.CLOSED:
+            raise TCPError("already in use")
+        self.state = TCPState.SYN_SENT
+
+    def create_listener(self):
+        conn = Conn()
+        conn.state = TCPState.LISTEN
+        return conn
+
+    def _input_syn_sent(self, flags):
+        if flags & TCPFlags.ACK:
+            self.state = TCPState.ESTABLISHED
+
+    def _rtx_fire(self):
+        self._close_now()
+
+    def usr_close(self):
+        if self.state in (TCPState.CLOSED, TCPState.LISTEN):
+            self._close_now()
+            return
+        if self.state is TCPState.SYN_SENT:
+            self._close_now()
+
+    def _close_now(self):
+        self.state = TCPState.CLOSED

@@ -1,0 +1,16 @@
+# repro: module(repro.tcp.fake)
+"""Fixture: a 4-state miniature of tcp/states.py for checker tests."""
+
+import enum
+
+
+class TCPState(enum.Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    ESTABLISHED = "established"
+
+    @property
+    def synchronized(self):
+        return self not in (TCPState.CLOSED, TCPState.LISTEN,
+                            TCPState.SYN_SENT)

@@ -1,0 +1,194 @@
+"""The mbuf ownership analyzer: fixture corpus, semantics, pragmas.
+
+The corpus under ``tests/lint_fixtures/ownership/`` follows the same
+golden-file convention as the determinism linter's: each ``<name>.py``
+holds deliberately broken (or deliberately clean) ownership idioms and
+``<name>.expected`` lists the findings as ``line:col rule-id`` lines.
+The suite also asserts the real source tree analyzes clean — the
+``repro sanitize`` acceptance bar for future PRs.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis import OWNERSHIP_RULES, Severity, analyze_paths
+from repro.analysis.ownership import (
+    OwnershipAnalyzer,
+    analyze_source,
+    ownership_rule_catalog,
+)
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "lint_fixtures",
+                           "ownership")
+SRC_REPRO = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "src", "repro")
+
+FIXTURES = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.py")))
+
+
+def _golden_lines(path):
+    with open(path[:-3] + ".expected") as handle:
+        return [line.strip() for line in handle if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Golden corpus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("path", FIXTURES,
+                         ids=[os.path.basename(p)[:-3] for p in FIXTURES])
+def test_fixture_matches_golden(path):
+    findings = OwnershipAnalyzer().analyze_file(path)
+    got = [f"{f.line}:{f.col} {f.rule}" for f in findings]
+    assert got == _golden_lines(path)
+
+
+def test_corpus_triggers_every_ownership_rule():
+    triggered = set()
+    for path in FIXTURES:
+        for line in _golden_lines(path):
+            triggered.add(line.split()[-1])
+    assert triggered == set(OWNERSHIP_RULES), (
+        "every ownership rule must have fixture coverage; missing: "
+        f"{set(OWNERSHIP_RULES) - triggered}")
+
+
+def test_src_tree_analyzes_clean():
+    findings = analyze_paths([SRC_REPRO])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Semantics
+# ----------------------------------------------------------------------
+def _rules(source):
+    return [f.rule for f in analyze_source(source)]
+
+
+class TestLeakDetection:
+    def test_leak_at_fall_off(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    chain, c = pool.build_chain(d, False)\n"
+        ) == ["mbuf-leak"]
+
+    def test_leak_on_one_branch_only(self):
+        findings = analyze_source(
+            "def f(pool, d, x):\n"
+            "    chain, c = pool.build_chain(d, False)\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    pool.free_chain(chain)\n")
+        assert [f.rule for f in findings] == ["mbuf-leak"]
+        assert findings[0].line == 4  # anchored at the leaking return
+        assert "may leak" in findings[0].message or \
+            "leaks" in findings[0].message
+
+    def test_raising_allocation_without_try_leaks_other_chain(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    a, c = pool.build_chain(d, False)\n"
+            "    b, c = pool.build_chain(d, False)\n"
+            "    pool.free_chain(a)\n"
+            "    pool.free_chain(b)\n"
+        ) == ["mbuf-leak"]  # `a` leaks if the second build_chain raises
+
+    def test_exception_handler_that_frees_is_clean(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    a, c = pool.build_chain(d, False)\n"
+            "    try:\n"
+            "        b, c = pool.build_chain(d, False)\n"
+            "    except Exception:\n"
+            "        pool.free_chain(a)\n"
+            "        raise\n"
+            "    pool.free_chain(a)\n"
+            "    pool.free_chain(b)\n"
+        ) == []
+
+    def test_loop_back_edge_rebinding_leaks(self):
+        assert "mbuf-leak" in _rules(
+            "def f(pool, blobs):\n"
+            "    for blob in blobs:\n"
+            "        m, c = pool.alloc(blob)\n")
+
+
+class TestHandoffSemantics:
+    def test_return_hands_off(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    chain, c = pool.build_chain(d, False)\n"
+            "    return chain\n"
+        ) == []
+
+    def test_attribute_store_hands_off(self):
+        assert _rules(
+            "def f(self, pool, d):\n"
+            "    chain, c = pool.build_chain(d, False)\n"
+            "    self.pending = chain\n"
+        ) == []
+
+    def test_free_after_handoff_flagged(self):
+        assert _rules(
+            "def f(pool, sb, d):\n"
+            "    chain, c = pool.build_chain(d, False)\n"
+            "    sb.append(chain)\n"
+            "    pool.free_chain(chain)\n"
+        ) == ["mbuf-use-after-handoff"]
+
+    def test_m_copy_borrows_its_source_chain(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    chain, c = pool.build_chain(d, False)\n"
+            "    try:\n"
+            "        copy, c = pool.m_copy(chain, 0, 8)\n"
+            "    except Exception:\n"
+            "        pool.free_chain(chain)\n"
+            "        raise\n"
+            "    pool.free_chain(copy)\n"
+            "    pool.free_chain(chain)\n"
+        ) == []
+
+    def test_receiver_reads_are_not_handoffs(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    chain, c = pool.build_chain(d, False)\n"
+            "    n = chain.length + len(chain.mbufs)\n"
+            "    pool.free_chain(chain)\n"
+            "    return n\n"
+        ) == []
+
+
+class TestPragmas:
+    def test_allow_on_allocation_line_suppresses_leak(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    chain, c = pool.build_chain(d, False)"
+            "  # repro: allow(mbuf-leak)\n"
+            "    return len(d)\n"
+        ) == []
+
+    def test_allow_on_reported_line_suppresses(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    m, c = pool.alloc(d)\n"
+            "    pool.free(m)\n"
+            "    pool.free(m)  # repro: allow(mbuf-double-free)\n"
+        ) == []
+
+    def test_unrelated_allow_does_not_suppress(self):
+        assert _rules(
+            "def f(pool, d):\n"
+            "    m, c = pool.alloc(d)\n"
+            "    pool.free(m)\n"
+            "    pool.free(m)  # repro: allow(mbuf-leak)\n"
+        ) == ["mbuf-double-free"]
+
+
+class TestCatalog:
+    def test_all_rules_are_errors_with_descriptions(self):
+        for rule, (severity, description) in OWNERSHIP_RULES.items():
+            assert severity == Severity.ERROR
+            assert description
+            assert rule in ownership_rule_catalog()

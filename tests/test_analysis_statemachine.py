@@ -1,0 +1,146 @@
+"""The TCP state-machine exhaustiveness checker.
+
+Half the suite runs the checker against a miniature 4-state connection
+under ``tests/lint_fixtures/statemachine/`` (one conforming, one with
+deliberate violations); the other half pins the real extraction: the
+transition table AST-extracted from ``repro/tcp`` must match the
+declared RFC 793 spec with zero findings — the ``repro sanitize``
+acceptance bar.
+"""
+
+import os
+
+from repro.analysis import check_state_machine, format_transition_table
+from repro.analysis.statemachine import (
+    EVENTS,
+    IGNORED,
+    SPEC,
+    StateMachineChecker,
+)
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "lint_fixtures",
+                           "statemachine")
+
+MINI_SPEC = (
+    ("CLOSED", "usr-connect", "SYN_SENT"),
+    ("CLOSED", "usr-listen", "LISTEN"),
+    ("SYN_SENT", "rcv-syn-ack", "ESTABLISHED"),
+    ("CLOSED", "usr-close", "CLOSED"),
+    ("LISTEN", "usr-close", "CLOSED"),
+    ("SYN_SENT", "usr-close", "CLOSED"),
+    ("*", "timeout-rexmt", "CLOSED"),
+)
+MINI_EVENTS = ("usr-connect", "usr-listen", "rcv-syn-ack", "usr-close",
+               "timeout-rexmt")
+MINI_IGNORED = (
+    ("*", "usr-connect", "connect raises outside CLOSED"),
+    ("*", "usr-listen", "listen rejected outside CLOSED"),
+    ("*", "rcv-syn-ack", "only meaningful in SYN_SENT"),
+    ("ESTABLISHED", "usr-close", "defers to FIN handling"),
+)
+
+
+def _read(name):
+    with open(os.path.join(FIXTURE_DIR, name)) as handle:
+        return handle.read()
+
+
+def _mini_checker(conn_fixture, **overrides):
+    kwargs = dict(
+        sources=[(conn_fixture, _read(conn_fixture))],
+        states_source=_read("mini_states.py"),
+        spec=MINI_SPEC, ignored=MINI_IGNORED, events=MINI_EVENTS,
+        entry_states={"create_listener": frozenset({"CLOSED"}),
+                      "_input_syn_sent": frozenset({"SYN_SENT"})})
+    kwargs.update(overrides)
+    return StateMachineChecker(**kwargs)
+
+
+class TestMiniFixtures:
+    def test_conforming_machine_passes(self):
+        assert _mini_checker("mini_conn_good.py").check() == []
+
+    def test_extraction_narrows_from_states(self):
+        transitions, problems = _mini_checker("mini_conn_good.py") \
+            .extract()
+        assert problems == []
+        table = {(state, t.event, t.to)
+                 for t in transitions for state in t.froms}
+        # The raise-guard in connect narrows the from-state to CLOSED.
+        assert ("CLOSED", "usr-connect", "SYN_SENT") in table
+        assert ("LISTEN", "usr-connect", "SYN_SENT") not in table
+        # usr_close's guarded _close_now calls cover exactly the three
+        # pre-synchronization states.
+        closes = {s for (s, e, t) in table if e == "usr-close"}
+        assert closes == {"CLOSED", "LISTEN", "SYN_SENT"}
+
+    def test_broken_machine_is_diagnosed(self):
+        rules = [f.rule for f in _mini_checker("mini_conn_bad.py")
+                 .check()]
+        assert "tcp-sm-wrong-target" in rules     # connect -> ESTABLISHED
+        assert "tcp-sm-unimplemented" in rules    # no listener transition
+        assert rules.count("tcp-sm-unreachable") == 2  # LISTEN, SYN_SENT
+
+    def test_undeclared_transition_is_flagged(self):
+        # Declare nothing for usr-connect: the implemented transition
+        # becomes undeclared and the gap justification must cover it.
+        spec = tuple(t for t in MINI_SPEC if t[1] != "usr-connect")
+        ignored = MINI_IGNORED + (("CLOSED", "usr-connect", "n/a"),)
+        rules = [f.rule for f in
+                 _mini_checker("mini_conn_good.py", spec=spec,
+                               ignored=ignored).check()]
+        assert "tcp-sm-undeclared" in rules
+
+    def test_unjustified_gap_is_flagged(self):
+        ignored = tuple(i for i in MINI_IGNORED
+                        if i[:2] != ("ESTABLISHED", "usr-close"))
+        findings = _mini_checker("mini_conn_good.py",
+                                 ignored=ignored).check()
+        gaps = [f for f in findings if f.rule == "tcp-sm-unjustified-gap"]
+        assert len(gaps) == 1
+        assert "usr-close" in gaps[0].message
+        assert "ESTABLISHED" in gaps[0].message
+
+
+class TestRealTree:
+    def test_spec_diff_is_empty(self):
+        findings = check_state_machine()
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_every_event_has_spec_or_justification(self):
+        covered = {event for _, event, _ in SPEC}
+        covered.update(event for _, event, _ in IGNORED)
+        assert covered == set(EVENTS)
+
+    def test_extracted_table_contains_core_transitions(self):
+        table = format_transition_table()
+        for row in (
+            ("CLOSED", "usr-connect", "SYN_SENT"),
+            ("LISTEN", "rcv-syn", "SYN_RECEIVED"),
+            ("SYN_SENT", "rcv-syn-ack", "ESTABLISHED"),
+            ("ESTABLISHED", "send-fin", "FIN_WAIT_1"),
+            ("FIN_WAIT_2", "rcv-fin", "TIME_WAIT"),
+            ("TIME_WAIT", "timeout-2msl", "CLOSED"),
+        ):
+            state, event, to = row
+            matches = [line for line in table.splitlines()
+                       if line.startswith(state + " ")
+                       and event in line and to in line]
+            assert matches, f"transition {row} missing from:\n{table}"
+
+    def test_simultaneous_open_extracted(self):
+        # SYN (no ACK) in SYN_SENT lands in SYN_RECEIVED.
+        assert any(
+            line.startswith("SYN_SENT") and "rcv-syn-->" in line
+            and "SYN_RECEIVED" in line
+            for line in format_transition_table().splitlines())
+
+    def test_rst_covers_every_synchronized_state(self):
+        transitions, _ = StateMachineChecker().extract()
+        rst_from = set()
+        for t in transitions:
+            if t.event == "rcv-rst":
+                rst_from.update(t.froms)
+        assert {"ESTABLISHED", "FIN_WAIT_1", "FIN_WAIT_2", "CLOSING",
+                "CLOSE_WAIT", "LAST_ACK", "TIME_WAIT", "SYN_RECEIVED",
+                "SYN_SENT"} <= rst_from

@@ -291,3 +291,130 @@ class TestFreeList:
         with pytest.raises(MbufError):
             pool.alloc(b"t" * 500)  # exceeds normal capacity
         assert pool.free_list_depth == 1  # header returned to the list
+
+
+@pytest.fixture()
+def san_pool():
+    return MbufPool(decstation_5000_200(), sanitize=True)
+
+
+class TestSanitizer:
+    """Runtime sanitizer: provenance, poison, generations, live audit."""
+
+    def test_env_var_enables_sanitizer(self, monkeypatch):
+        from repro.mem import sanitize_enabled
+
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "off")
+        assert not sanitize_enabled()
+
+    def test_allocation_records_site_and_generation(self, san_pool):
+        first, _ = san_pool.alloc(b"a")
+        second, _ = san_pool.alloc(b"b")
+        assert first.san is not None and second.san is not None
+        assert "test_mem_mbuf.py" in first.san.alloc_site
+        assert "in test_allocation_records_site_and_generation" \
+            in first.san.alloc_site
+        assert second.san.generation == first.san.generation + 1
+
+    def test_double_free_names_both_sites(self, san_pool):
+        mbuf, _ = san_pool.alloc(b"x")
+        held = [mbuf]  # keep a reference so the header is not recycled
+        san_pool.free(mbuf)
+        with pytest.raises(MbufError) as err:
+            san_pool.free(held[0])
+        message = str(err.value)
+        assert "double free" in message
+        assert "allocated at" in message and "freed at" in message
+
+    def test_use_after_free_names_allocation(self, san_pool):
+        mbuf, _ = san_pool.alloc(b"y")
+        held = [mbuf]
+        san_pool.free(mbuf)
+        with pytest.raises(MbufError) as err:
+            held[0].data
+        assert "use after free" in str(err.value)
+        assert "allocated at" in str(err.value)
+
+    def test_poison_on_free_normal_mbuf(self, san_pool):
+        from repro.mem import POISON_BYTE
+
+        mbuf, _ = san_pool.alloc(b"hello")
+        held = [mbuf]
+        san_pool.free(mbuf)
+        assert bytes(held[0]._data) == bytes([POISON_BYTE]) * 5
+
+    def test_cluster_poisoned_only_when_last_ref_dies(self, san_pool):
+        from repro.mem import POISON_BYTE
+
+        chain, _ = san_pool.build_chain(b"c" * 4096, use_clusters=True)
+        copy, _ = san_pool.m_copy(chain, 0, 4096)
+        storage = chain.mbufs[0].cluster
+        assert storage is copy.mbufs[0].cluster and storage.refs == 2
+        san_pool.free_chain(chain)
+        # The copy still shares the page: it must not be poisoned yet.
+        assert storage.data[:1] == b"c"
+        san_pool.free_chain(copy)
+        assert storage.data == bytes([POISON_BYTE]) * 4096
+
+    def test_live_report_names_leaks_and_clears_on_free(self, san_pool):
+        chain, _ = san_pool.build_chain(b"z" * 200, use_clusters=False)
+        report = san_pool.sanitizer.live_report(set())
+        assert len(report) == chain.mbuf_count
+        assert all("allocated at" in line for line in report)
+        # Excluding the held mbufs models "reachable from a sockbuf".
+        held = {id(m) for m in chain.mbufs}
+        assert san_pool.sanitizer.live_report(held) == []
+        san_pool.free_chain(chain)
+        assert san_pool.sanitizer.live_report(set()) == []
+
+    def test_sanitizer_off_by_default_and_costs_unchanged(self, san_pool,
+                                                          monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = MbufPool(decstation_5000_200())
+        assert plain.sanitizer is None
+        _, cost_plain = plain.alloc(b"p")
+        _, cost_san = san_pool.alloc(b"p")
+        assert cost_plain == cost_san
+
+    def test_free_list_recycling_still_works_when_sanitized(self,
+                                                            san_pool):
+        held = [san_pool.alloc(b"r")[0]]
+        san_pool.free(held.pop())  # pop first: sole-reference free
+        assert san_pool.free_list_depth == 1
+        reused, _ = san_pool.alloc(b"s")
+        assert san_pool.reused == 1
+        assert reused.san is not None  # fresh provenance, not stale
+        assert reused.san.free_site is None
+
+
+class TestDropFrontClusterTrim:
+    """Regression: drop_front once leaked the old ClusterStorage ref
+    when trimming within a shared cluster (m_copy retransmission
+    copies kept the page alive forever)."""
+
+    def test_partial_trim_releases_old_storage_ref(self, pool):
+        chain, _ = pool.build_chain(b"d" * 4096, use_clusters=True)
+        copy, _ = pool.m_copy(chain, 0, 4096)
+        storage = chain.mbufs[0].cluster
+        assert storage.refs == 2
+        pool.drop_front(chain, 1000)  # partial: trims within the page
+        # The original chain now owns a fresh trimmed page; its ref on
+        # the shared page must be gone, leaving only the copy's.
+        assert chain.mbufs[0].cluster is not storage
+        assert storage.refs == 1
+        pool.free_chain(copy)
+        assert storage.refs == 0
+
+    def test_trim_conserves_pool_accounting_with_sanitizer(self,
+                                                           san_pool):
+        chain, _ = san_pool.build_chain(b"e" * 8192, use_clusters=True)
+        copy, _ = san_pool.m_copy(chain, 0, 8192)
+        san_pool.drop_front(chain, 4096 + 500)  # drop one page + part
+        san_pool.free_chain(chain)
+        san_pool.free_chain(copy)
+        assert san_pool.in_use == 0
+        assert san_pool.sanitizer.live_report(set()) == []

@@ -171,3 +171,93 @@ class TestDuplicateSyn:
         non_listeners = [c for c in tb.server.tcp.connections
                          if c.state is not TCPState.LISTEN]
         assert len(non_listeners) == 1
+
+
+class TestReceiveBufferOverflowLeaks:
+    """Regression tests for mbuf leaks when sbappend refuses a chain.
+
+    Two receive-path fixes under test: ``_append_receive_data`` must
+    release the chain it built when ``so_rcv`` overflows (the mbufs
+    leaked before), and the reassembly drain must check the socket
+    buffer's free space before moving ``rcv_nxt`` — a drained run
+    larger than ``so_rcv.space`` used to blow sbappend's high-water
+    check after the chain was already built.
+    """
+
+    def _established_pair(self, config=None):
+        tb = build_atm_pair(config=config)
+        listener = tb.server.socket()
+        listener.listen(SERVER_PORT)
+
+        def server(listener):
+            child = yield from listener.accept()
+            return child
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            return sock
+
+        server_done = tb.server.spawn(server(listener))
+        client_done = tb.client.spawn(client())
+        csock = tb.sim.run_until_triggered(client_done)
+        ssock = tb.sim.run_until_triggered(server_done)
+        return tb, csock, ssock
+
+    def test_append_overflow_releases_built_chain(self):
+        from repro.socket.sockbuf import SockBufError
+
+        tb, _csock, ssock = self._established_pair()
+        conn = ssock.conn
+        pool = conn.host.pool
+        conn.socket.so_rcv.hiwat = 4  # nothing fits any more
+        before = pool.in_use
+        with pytest.raises(SockBufError):
+            conn._append_receive_data(b"does not fit")
+        assert pool.in_use == before  # chain released, not leaked
+
+    def test_append_overflow_leak_visible_to_sanitizer(self):
+        """With REPRO_SANITIZE the failed append leaves no live
+        allocation behind for the leak-at-quiesce audit to flag."""
+        from repro.kern.config import KernelConfig
+        from repro.socket.sockbuf import SockBufError
+
+        tb, _csock, ssock = self._established_pair(
+            config=KernelConfig(sanitize=True))
+        conn = ssock.conn
+        pool = conn.host.pool
+        conn.socket.so_rcv.hiwat = 4
+        live_before = len(pool.sanitizer.live_report(set()))
+        with pytest.raises(SockBufError):
+            conn._append_receive_data(b"does not fit")
+        assert len(pool.sanitizer.live_report(set())) == live_before
+
+    def test_drained_run_larger_than_socket_space_is_requeued(self):
+        from repro.tcp.seq import seq_add
+
+        tb, csock, ssock = self._established_pair()
+        conn = ssock.conn
+        # A tiny receive buffer: the next segment fits, the queued
+        # out-of-order run does not.
+        conn.socket.so_rcv.hiwat = 10
+        run = b"R" * 50
+        conn.reassembly.insert(seq_add(conn.rcv_nxt, 4), run)
+        expected_nxt = seq_add(conn.rcv_nxt, 4)
+        drops_before = conn.stats.mbuf_drops
+        pool = conn.host.pool
+
+        def client():
+            yield from csock.send(b"abcd")
+
+        done = tb.client.spawn(client())
+        tb.sim.run_until_triggered(done)
+        tb.sim.run(until=tb.sim.now + 50_000_000)  # let the ACK land
+        # The in-sequence bytes were delivered; the drained run was put
+        # back instead of overflowing sbappend (and leaking its chain).
+        assert conn.socket.so_rcv.cc == 4
+        assert conn.rcv_nxt == expected_nxt
+        assert not conn.reassembly.empty
+        assert conn.stats.mbuf_drops == drops_before + 1
+        # Conservation: every allocation is freed or sits in a sockbuf.
+        assert pool.in_use == conn.socket.so_rcv.chain.mbuf_count \
+            + conn.socket.so_snd.chain.mbuf_count
