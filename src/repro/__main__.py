@@ -723,8 +723,32 @@ def _default_baseline_path():
     return candidate if os.path.exists(candidate) else None
 
 
+def _bench_both(args) -> int:
+    """``repro bench --both``: one native and one pure subprocess.
+
+    Each child is a fresh interpreter because the execution path is
+    chosen once at import time (repro.perf.native); flipping
+    REPRO_NATIVE in-process would have no effect.
+    """
+    import os
+    import subprocess
+    import sys
+
+    worst = 0
+    for label, flag in (("native", "1"), ("pure", "0")):
+        env = dict(os.environ, REPRO_NATIVE=flag)
+        rc = subprocess.call(
+            [sys.executable, "-m", "repro", "bench", "--label", label]
+            + args, env=env)
+        if rc == 2:
+            return 2
+        worst = max(worst, rc)
+    return worst
+
+
 def cmd_bench(args) -> int:
-    """``python -m repro bench [--label L] [--quick] [--strict] ...``."""
+    """``python -m repro bench [--label L] [--quick] [--strict]
+    [--both] ...``."""
     from repro.perf.bench import (
         DEFAULT_TOLERANCE_PCT,
         format_report,
@@ -734,7 +758,8 @@ def cmd_bench(args) -> int:
 
     label, out, baseline = "local", None, None
     tolerance = DEFAULT_TOLERANCE_PCT
-    quick = strict = False
+    quick = strict = both = False
+    passthrough = []
     i = 0
     while i < len(args):
         arg = args[i]
@@ -751,16 +776,25 @@ def cmd_bench(args) -> int:
                 baseline = value
             else:
                 tolerance = float(value)
+            if arg != "--label":
+                passthrough += [arg, value]
             i += 2
         elif arg == "--quick":
             quick = True
+            passthrough.append(arg)
             i += 1
         elif arg == "--strict":
             strict = True
+            passthrough.append(arg)
+            i += 1
+        elif arg == "--both":
+            both = True
             i += 1
         else:
             print(f"bench: unknown argument {arg}")
             return 2
+    if both:
+        return _bench_both(passthrough)
     if baseline is None:
         baseline = _default_baseline_path()
     metrics = run_benchmarks(quick=quick)

@@ -28,6 +28,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+import repro.perf.native as _native_dispatch
 from repro.sim.engine import Simulator
 
 __all__ = ["run_benchmarks", "compare_to_baseline", "write_report",
@@ -144,6 +145,36 @@ def bench_mbuf_churn(rounds: int = 4_000) -> float:
     return rounds / elapsed
 
 
+def bench_pcb_lookup(mode: str, entries: int) -> float:
+    """Lookups/sec against a table of *entries* connected PCBs.
+
+    Cache disabled so every call hits the configured structure; the
+    target is the oldest (tail) PCB, the full-scan worst case of the
+    §3 Table 4 points (1 / 20 / 1000 entries).
+    """
+    from repro.hw import decstation_5000_200
+    from repro.kern.config import PcbLookup
+    from repro.tcp.pcb import PCB, PCBTable
+
+    table = PCBTable(decstation_5000_200(),
+                     mode=PcbLookup.HASH if mode == "hash"
+                     else PcbLookup.LIST,
+                     cache_enabled=False)
+    for i in range(entries):
+        table.insert(PCB(0x0A000001, 5000 + i, 0x0A000002, 6000 + i))
+    target = table.pcbs[-1]
+    key = (target.local_ip, target.local_port,
+           target.remote_ip, target.remote_port)
+    lookup = table.lookup
+    lookup(*key)  # untimed warmup
+    rounds = max(1_000, 20_000 // entries)
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    for _ in range(rounds):
+        lookup(*key)
+    elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    return rounds / elapsed
+
+
 def bench_rtt_wall(size: int = 1400, iterations: int = 6,
                    warmup: int = 2, repeats: int = 5) -> float:
     """Wall ms for one full-stack round-trip benchmark point (best of
@@ -179,7 +210,7 @@ def run_benchmarks(quick: bool = False) -> Dict[str, float]:
     to the full run so throughput numbers remain comparable to a
     baseline captured without ``--quick``."""
     scale = 2 if quick else 1
-    return {
+    metrics = {
         "eventloop_deep_events_per_sec":
             bench_eventloop_deep(events=200_000 // scale),
         "eventloop_shallow_events_per_sec":
@@ -190,6 +221,12 @@ def run_benchmarks(quick: bool = False) -> Dict[str, float]:
         "rtt_1400_wall_ms": bench_rtt_wall(repeats=5 if not quick else 3),
         "table1_cold_serial_wall_s": bench_table1_regen(),
     }
+    # The §3 Table 4 demux points: both structures at 1/20/1000 PCBs.
+    for mode in ("list", "hash"):
+        for entries in (1, 20, 1000):
+            metrics[f"pcb_lookup_{mode}_{entries}_per_sec"] = \
+                bench_pcb_lookup(mode, entries)
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +261,7 @@ def write_report(metrics: Dict[str, float], label: str,
                  baseline_path: Optional[str] = None,
                  tolerance_pct: float = DEFAULT_TOLERANCE_PCT) -> dict:
     """Assemble the report document and write ``BENCH_<label>.json``."""
+    path_meta = _native_dispatch.describe()
     comparison = None
     if baseline_path and os.path.exists(baseline_path):
         with open(baseline_path, "r", encoding="utf-8") as fh:
@@ -232,14 +270,27 @@ def write_report(metrics: Dict[str, float], label: str,
             "baseline_path": baseline_path,
             "baseline_label": base_doc.get("label", "?"),
             "tolerance_pct": tolerance_pct,
-            "rows": compare_to_baseline(
-                metrics, base_doc.get("metrics", {}), tolerance_pct),
         }
+        base_native = bool(base_doc.get("native", False))
+        if base_native != path_meta["native"]:
+            # A compiled run vs a pure baseline (or vice versa) is an
+            # expected multi-x gap, not a regression signal: warn and
+            # skip the tolerance comparison entirely.
+            comparison["rows"] = []
+            comparison["path_mismatch"] = (
+                f"baseline ran {'native' if base_native else 'pure'}, "
+                f"this run is "
+                f"{'native' if path_meta['native'] else 'pure'}")
+        else:
+            comparison["rows"] = compare_to_baseline(
+                metrics, base_doc.get("metrics", {}), tolerance_pct)
     doc = {
         "label": label,
         # Report metadata only; never feeds simulated time.
         "created_unix": int(time.time()),  # repro: allow(wall-clock)
         "python": sys.version.split()[0],
+        "implementation": path_meta["implementation"],
+        "native": path_meta["native"],
         "metrics": {k: round(v, 3) for k, v in metrics.items()},
         "comparison": comparison,
     }
@@ -254,10 +305,18 @@ def write_report(metrics: Dict[str, float], label: str,
 
 def format_report(doc: dict) -> str:
     """Human-readable dump of a report document."""
-    lines = [f"repro bench [{doc['label']}] python {doc['python']}"]
+    path = "native" if doc.get("native") else "pure"
+    lines = [f"repro bench [{doc['label']}] python {doc['python']} "
+             f"({path})"]
     for name, value in sorted(doc["metrics"].items()):
         lines.append(f"  {name:<34} {value:>14,.1f}")
     comparison = doc.get("comparison")
+    if comparison and comparison.get("path_mismatch"):
+        lines.append(f"  WARNING: not compared to "
+                     f"{comparison['baseline_path']}: "
+                     f"{comparison['path_mismatch']}")
+        lines.append(f"  report -> {doc.get('out_path', '?')}")
+        return "\n".join(lines)
     if comparison:
         lines.append(f"  vs {comparison['baseline_path']} "
                      f"(label={comparison['baseline_label']}, "

@@ -64,11 +64,18 @@ def code_salt() -> str:
 
     Computed once per process.  Editing the perf tooling itself keeps
     the cache warm; editing anything the simulation executes (engine,
-    stack, cost model, experiment driver) invalidates it.
+    stack, cost model, experiment driver) invalidates it.  The compiled
+    hot core participates too: its C source is hashed (``.py`` rules
+    don't see it) and the salt records which execution path is live, so
+    a native run never reuses cells written by a pure run while the
+    extension is suspected of divergence — equivalence is *supposed* to
+    be byte-identical, but the cache must not be the thing hiding a
+    violation.
     """
     global _salt_memo
     if _salt_memo is None:
         import repro
+        import repro.perf.native as _native_dispatch
 
         root = os.path.dirname(os.path.abspath(repro.__file__))
         digest = hashlib.sha256()
@@ -78,12 +85,14 @@ def code_salt() -> str:
                 dirnames[:] = []
                 continue
             for filename in sorted(filenames):
-                if not filename.endswith(".py"):
+                if not filename.endswith((".py", ".c")):
                     continue
                 path = os.path.join(dirpath, filename)
                 digest.update(os.path.relpath(path, root).encode())
                 with open(path, "rb") as fh:
                     digest.update(fh.read())
+        digest.update(
+            b"native" if _native_dispatch.NATIVE_IN_USE else b"pure")
         _salt_memo = digest.hexdigest()[:32]
     return _salt_memo
 

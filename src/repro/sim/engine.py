@@ -698,3 +698,98 @@ class Simulator:
         if not queue:
             return self._now
         return queue[0][0]
+
+
+# ----------------------------------------------------------------------
+# Optional compiled engine core (repro._native._corec)
+# ----------------------------------------------------------------------
+# Selected once at import time via repro.perf.native (REPRO_NATIVE=0|1).
+# The native Simulator subclasses the pure one — every non-hot method
+# (events, processes, timeouts, hook validation) is inherited — and
+# delegates the clock, heap, free list and dispatch loops to an
+# EngineCore whose semantics are byte-identical (same event order, same
+# pooling refcount discipline, same compaction cadence, same error
+# classes and messages).  tests/perf_golden/ gates the equivalence.
+
+import repro.perf.native as _native_dispatch
+
+_CORE = _native_dispatch.lib
+
+if _CORE is not None:
+    _CORE.engine_install(Event._PENDING, SchedulingError, Deadlock, _noop)
+
+    _PurePythonSimulator = Simulator
+
+    class _NativeSimulator(_PurePythonSimulator):
+        """Simulator backed by the compiled EngineCore."""
+
+        def __init__(self, hooks: Optional[Any] = None,
+                     tiebreak: Optional[str] = None) -> None:
+            self.tiebreak = tiebreak or "fifo"
+            self._keyfn = tiebreak_keyfn(tiebreak)
+            core = _CORE.EngineCore(self._keyfn)
+            self._core = core
+            #: Bound C method in the instance dict: callers resolve
+            #: `sim.schedule` straight to the compiled entry point.
+            self.schedule = core.schedule
+            if hooks is not None:
+                self.set_hooks(hooks)
+
+        # -- state lives in the core ----------------------------------
+        @property
+        def hooks(self) -> Optional[Any]:
+            return self._core.hooks
+
+        @hooks.setter
+        def hooks(self, value: Optional[Any]) -> None:
+            self._core.hooks = value
+
+        @property
+        def now(self) -> int:
+            return self._core.now
+
+        @property
+        def now_us(self) -> float:
+            return to_us(self._core.now)
+
+        @property
+        def events_executed(self) -> int:
+            return self._core.events_executed
+
+        @property
+        def pooled_calls(self) -> int:
+            return self._core.pooled_calls
+
+        @property
+        def _now(self) -> int:
+            return self._core.now
+
+        @property
+        def _queue(self) -> List[tuple]:
+            return self._core.queue
+
+        @property
+        def _pool(self) -> List[Any]:
+            return self._core.pool
+
+        # -- hot loops ------------------------------------------------
+        def step(self) -> bool:
+            return self._core.step()
+
+        def run(self, until: Optional[int] = None) -> None:
+            if until is None:
+                self._core.run_all()
+            else:
+                self._core.run_until(until)
+
+        def run_until_triggered(self, event: Event) -> Any:
+            self._core.run_until_triggered(event)
+            return event.value
+
+        def _maybe_compact(self) -> None:
+            self._core.maybe_compact()
+
+        def _peek_time(self) -> int:
+            return self._core.peek_time()
+
+    Simulator = _NativeSimulator  # type: ignore[misc]

@@ -6,3 +6,5 @@ from repro.obs import Observer
 
 from repro.net.headers import TCPFlags
 from repro.sim.engine import us
+import repro._native
+from repro._native import EngineCore

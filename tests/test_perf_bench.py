@@ -2,6 +2,7 @@
 
 import json
 
+import repro.perf.native as native_dispatch
 from repro.perf.bench import (
     compare_to_baseline,
     format_report,
@@ -38,18 +39,38 @@ def test_tolerance_band_swallows_noise():
 def test_write_report_round_trips_and_compares(tmp_path):
     baseline_path = tmp_path / "baseline.json"
     baseline_path.write_text(json.dumps(
-        {"label": "seed", "metrics": {"cpu_jobs_per_sec": 100.0}}))
+        {"label": "seed", "native": native_dispatch.NATIVE_IN_USE,
+         "metrics": {"cpu_jobs_per_sec": 100.0}}))
     out = tmp_path / "BENCH_x.json"
     doc = write_report({"cpu_jobs_per_sec": 250.0}, "x",
                        out_path=str(out),
                        baseline_path=str(baseline_path))
     on_disk = json.loads(out.read_text())
     assert on_disk["metrics"]["cpu_jobs_per_sec"] == 250.0
+    assert on_disk["native"] == native_dispatch.NATIVE_IN_USE
+    assert on_disk["implementation"]
     assert on_disk["comparison"]["baseline_label"] == "seed"
     assert on_disk["comparison"]["rows"][0]["change_pct"] == 150.0
     assert not on_disk["comparison"]["rows"][0]["regressed"]
     text = format_report(doc)
     assert "cpu_jobs_per_sec" in text and "OK: within tolerance" in text
+
+
+def test_path_mismatch_warns_instead_of_comparing(tmp_path):
+    """A native run is never held to a pure baseline (or vice versa)."""
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(
+        {"label": "seed", "native": not native_dispatch.NATIVE_IN_USE,
+         "metrics": {"cpu_jobs_per_sec": 100.0}}))
+    out = tmp_path / "BENCH_z.json"
+    doc = write_report({"cpu_jobs_per_sec": 900.0}, "z",
+                       out_path=str(out),
+                       baseline_path=str(baseline_path))
+    assert doc["comparison"]["rows"] == []
+    assert "path_mismatch" in doc["comparison"]
+    text = format_report(doc)
+    assert "WARNING: not compared" in text
+    assert "OK: within tolerance" not in text
 
 
 def test_missing_baseline_omits_comparison(tmp_path):

@@ -177,3 +177,58 @@ class TestHashLookup:
         _, cost, _ = table.lookup(1, 9999, 2, 99)
         assert to_us(cost) == pytest.approx(
             costs.pcb_lookup_call_us + costs.pcb_hash_lookup_us)
+
+
+class TestHashWildcardFallbackOrder:
+    """_lookup_hash probes exact 4-tuple, then the local-address
+    listener bucket, then the any-address listener bucket — in that
+    order, like in_pcblookup's wildcard-preference rules."""
+
+    def test_exact_match_wins_over_coexisting_listener(self, costs):
+        table = PCBTable(costs, mode=PcbLookup.HASH, cache_enabled=False)
+        listener = PCB(local_ip=1, local_port=80)
+        connected = PCB(local_ip=1, local_port=80,
+                        remote_ip=7, remote_port=7)
+        table.insert(listener)
+        table.insert(connected)
+        found, cost, _ = table.lookup(1, 80, 7, 7)
+        assert found is connected
+        # One probe: the exact bucket hit, so no wildcard surcharge.
+        assert to_us(cost) == pytest.approx(
+            costs.pcb_lookup_call_us + costs.pcb_hash_lookup_us)
+        # A different remote endpoint falls back to the listener.
+        found, _, _ = table.lookup(1, 80, 8, 8)
+        assert found is listener
+
+    def test_local_listener_preferred_over_any_address(self, costs):
+        table = PCBTable(costs, mode=PcbLookup.HASH, cache_enabled=False)
+        any_addr = PCB(local_ip=0, local_port=80)
+        local = PCB(local_ip=1, local_port=80)
+        table.insert(any_addr)
+        table.insert(local)
+        found, _, _ = table.lookup(1, 80, 7, 7)
+        assert found is local
+
+    def test_any_address_listener_is_last_resort(self, costs):
+        table = PCBTable(costs, mode=PcbLookup.HASH, cache_enabled=False)
+        any_addr = PCB(local_ip=0, local_port=80)
+        table.insert(any_addr)
+        found, cost, _ = table.lookup(5, 80, 7, 7)
+        assert found is any_addr
+        # Missed the exact bucket: the wildcard probes cost double.
+        assert to_us(cost) == pytest.approx(
+            costs.pcb_lookup_call_us + 2 * costs.pcb_hash_lookup_us)
+
+    def test_full_fallback_chain(self, costs):
+        table = PCBTable(costs, mode=PcbLookup.HASH, cache_enabled=False)
+        any_addr = PCB(local_ip=0, local_port=80)
+        local = PCB(local_ip=1, local_port=80)
+        connected = PCB(local_ip=1, local_port=80,
+                        remote_ip=7, remote_port=7)
+        table.insert(any_addr)
+        table.insert(local)
+        table.insert(connected)
+        assert table.lookup(1, 80, 7, 7)[0] is connected
+        assert table.lookup(1, 80, 9, 9)[0] is local
+        assert table.lookup(2, 80, 9, 9)[0] is any_addr
+        assert table.lookup(1, 81, 7, 7)[0] is None
