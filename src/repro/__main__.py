@@ -711,15 +711,25 @@ def cmd_chaos(args) -> int:
 
 
 def _default_baseline_path():
-    """``benchmarks/baseline.json`` from the cwd or the repo checkout."""
+    """The committed baseline matching this run's execution path.
+
+    ``benchmarks/baseline_native.json`` when the compiled core is in
+    use, ``benchmarks/baseline.json`` for the pure interpreter —
+    resolved from the cwd or the repo checkout.  Comparing across
+    paths is a multi-x gap by construction, so each path keeps its
+    own trajectory (an explicit ``--baseline`` still wins, and
+    ``write_report`` warns on a path mismatch rather than comparing).
+    """
     import os
-    candidate = os.path.join("benchmarks", "baseline.json")
+    from repro.perf.native import NATIVE_IN_USE
+    name = "baseline_native.json" if NATIVE_IN_USE else "baseline.json"
+    candidate = os.path.join("benchmarks", name)
     if os.path.exists(candidate):
         return candidate
     import repro
     pkg_root = os.path.dirname(os.path.abspath(repro.__file__))
     candidate = os.path.join(os.path.dirname(os.path.dirname(pkg_root)),
-                             "benchmarks", "baseline.json")
+                             "benchmarks", name)
     return candidate if os.path.exists(candidate) else None
 
 

@@ -20,7 +20,8 @@ from repro.core.testbed import build_atm_pair, build_ethernet_pair
 from repro.kern.config import KernelConfig
 
 __all__ = ["RPCMix", "MixResult", "LRPC_MIX", "NFS_MIX", "BULKY_MIX",
-           "run_mix"]
+           "run_mix", "ConnScaleResult", "connection_scale_config",
+           "run_connection_scale"]
 
 
 @dataclass(frozen=True)
@@ -135,3 +136,144 @@ def run_mix(mix: RPCMix, config: Optional[KernelConfig] = None,
                    for c in calls)
     return MixResult(mix=mix.name, weighted_mean_us=weighted,
                      per_call_us=per_call)
+
+
+# ----------------------------------------------------------------------
+# Connection-scale workload (§3's motivation, run as traffic)
+# ----------------------------------------------------------------------
+@dataclass
+class ConnScaleResult:
+    """What an N-connection run did, in simulator terms.
+
+    ``events_executed`` is the engine's dispatch count for the whole
+    run — the numerator of the bench harness's events/sec metric (the
+    harness supplies the wall-clock denominator; nothing here reads
+    wall time).
+    """
+
+    connections: int
+    completed: int
+    rounds: int
+    events_executed: int
+    sim_duration_us: float
+    segments_received: int
+    retransmits: int
+    wheel_ticks: int
+
+
+def connection_scale_config(scaled: bool = True) -> KernelConfig:
+    """The two kernel configurations the scale bench compares.
+
+    *scaled* turns on everything §3 suggests for many connections:
+    hash PCB demultiplexing, the tick timer wheel, and batched softnet
+    dispatch.  ``scaled=False`` is the paper-faithful default kernel
+    (list demux, per-callback timers), whose per-connection costs are
+    the point of the comparison.
+    """
+    from repro.kern.config import PcbLookup
+
+    if not scaled:
+        return KernelConfig(timer_wheel=False, softnet_batch=False)
+    return KernelConfig(pcb_lookup=PcbLookup.HASH, timer_wheel=True,
+                        softnet_batch=True)
+
+
+def run_connection_scale(connections: int, rounds: int = 2,
+                         request: int = 64, reply: int = 64,
+                         config: Optional[KernelConfig] = None,
+                         network: str = "atm",
+                         window: int = 24,
+                         close: bool = True) -> ConnScaleResult:
+    """Stand up *connections* concurrent TCP connections between the
+    pair and run *rounds* small RPCs on each.
+
+    The run is a closed loop in two phases.  **Ramp**: every client
+    connects, at most *window* handshakes in flight at once, and then
+    holds its connection open until all N are established — so the RPC
+    phase really runs against N-entry PCB tables and N live
+    connections.  **RPC**: each connection takes a *window* slot, runs
+    its *rounds* request/reply exchanges, and (with *close*) closes
+    before releasing the slot.  The window caps in-flight segments
+    below the bounded IP input queue's limit: an open-loop 10k-client
+    stampede overflows the queue, and the ensuing loss/backoff
+    collapse measures the drop path, not per-connection costs (BSD's
+    FIN_WAIT_2 even wedges permanently when the peer's retransmitted
+    FIN is dropped often enough — faithfully reproduced here, and
+    exactly what a workload harness must not trip over).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if network == "atm":
+        tb = build_atm_pair(config=config)
+    elif network == "ethernet":
+        tb = build_ethernet_pair(config=config)
+    else:
+        raise ValueError(f"unknown network {network!r}")
+    from repro.sim.resources import Semaphore
+
+    req_payload = payload_pattern(request)
+    rep_payload = payload_pattern(reply, seed=1)
+    connected = [0]
+    finished = [0]
+    ramp_done = tb.sim.event(name="conn-scale-ramp")
+    all_done = tb.sim.event(name="conn-scale-done")
+    connect_sem = Semaphore(tb.sim, value=window, name="scale-connect")
+    rpc_sem = Semaphore(tb.sim, value=window, name="scale-rpc")
+
+    def handler(child):
+        for _ in range(rounds):
+            data = yield from child.recv(request, exact=True)
+            if len(data) < request:
+                return
+            yield from child.send(rep_payload)
+        if close:
+            yield from child.close()
+
+    def acceptor(listener):
+        for _ in range(connections):
+            child = yield from listener.accept()
+            tb.server.spawn(handler(child), name="scale-worker")
+
+    def client(index):
+        yield connect_sem.acquire()
+        sock = tb.client.socket()
+        yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+        connect_sem.release()
+        connected[0] += 1
+        if connected[0] == connections:
+            ramp_done.succeed(None)
+        yield ramp_done
+        yield rpc_sem.acquire()
+        for _ in range(rounds):
+            yield from sock.send(req_payload)
+            data = yield from sock.recv(reply, exact=True)
+            assert len(data) == reply
+        if close:
+            yield from sock.close()
+        rpc_sem.release()
+        finished[0] += 1
+        if finished[0] == connections:
+            all_done.succeed(None)
+
+    listener = tb.server.socket()
+    listener.listen(SERVER_PORT)
+    tb.server.spawn(acceptor(listener), name="scale-acceptor")
+    for i in range(connections):
+        tb.client.spawn(client(i), name=f"scale-client-{i}")
+    tb.sim.run_until_triggered(all_done)
+
+    wheel_ticks = sum(h.timer_wheel.ticks for h in tb.hosts
+                      if h.timer_wheel is not None)
+    return ConnScaleResult(
+        connections=connections,
+        completed=finished[0],
+        rounds=rounds,
+        events_executed=tb.sim.events_executed,
+        sim_duration_us=tb.sim.now / 1000.0,
+        segments_received=sum(h.tcp.stats.segs_received
+                              for h in tb.hosts),
+        retransmits=sum(c.stats.retransmits
+                        for h in tb.hosts
+                        for c in h.tcp.connections),
+        wheel_ticks=wheel_ticks,
+    )

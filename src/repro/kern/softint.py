@@ -31,11 +31,19 @@ class SoftNet:
     IPQ_MAX = 50
 
     def __init__(self, sim: Simulator, cpu: CPU, costs,
-                 tracer: Optional[SpanTracer] = None):
+                 tracer: Optional[SpanTracer] = None,
+                 batch: bool = False):
         self.sim = sim
         self.cpu = cpu
         self.costs = costs
         self.tracer = tracer
+        #: Batched dispatch (KernelConfig.softnet_batch): the softint
+        #: holds splnet once for the whole IPQ drain — BSD's ipintr
+        #: runs the entire queue at splnet — instead of re-acquiring it
+        #: per packet.  Default off; with one datagram per activation
+        #: (every single-connection scenario) the operation sequence is
+        #: identical to the per-packet path.
+        self.batch = batch
         #: Installed by the IP layer: a generator function taking a Packet.
         self.ip_input: Optional[Callable[[Packet], Generator]] = None
         #: Installed by the host: the splnet mutex serializing protocol
@@ -99,22 +107,38 @@ class SoftNet:
                 int(self.costs.softint_dispatch_us * 1000),
                 Priority.SOFT_INTR, "softint-dispatch",
             )
-            while self._queue:
-                packet = self._queue.popleft()
-                self.dispatched += 1
-                self._record_ipq_span(packet)
-                if self.ip_input is None:
-                    raise RuntimeError("SoftNet has no ip_input handler")
-                if self.splnet is not None:
-                    # Serialize against process-context protocol work
-                    # (BSD's splnet discipline).
-                    yield self.splnet.acquire()
-                    try:
+            if self.batch and self.splnet is not None:
+                # Batched mode: ipintr runs the whole drain at splnet.
+                yield self.splnet.acquire()
+                try:
+                    while self._queue:
+                        packet = self._queue.popleft()
+                        self.dispatched += 1
+                        self._record_ipq_span(packet)
+                        if self.ip_input is None:
+                            raise RuntimeError(
+                                "SoftNet has no ip_input handler")
                         yield from self.ip_input(packet)
-                    finally:
-                        self.splnet.release()
-                else:
-                    yield from self.ip_input(packet)
+                finally:
+                    self.splnet.release()
+            else:
+                while self._queue:
+                    packet = self._queue.popleft()
+                    self.dispatched += 1
+                    self._record_ipq_span(packet)
+                    if self.ip_input is None:
+                        raise RuntimeError(
+                            "SoftNet has no ip_input handler")
+                    if self.splnet is not None:
+                        # Serialize against process-context protocol
+                        # work (BSD's splnet discipline).
+                        yield self.splnet.acquire()
+                        try:
+                            yield from self.ip_input(packet)
+                        finally:
+                            self.splnet.release()
+                    else:
+                        yield from self.ip_input(packet)
         finally:
             # Whatever happens while draining (including a datagram so
             # corrupted it cannot be parsed), the softint must not stay

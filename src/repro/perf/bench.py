@@ -6,15 +6,21 @@ Measures the hot layers of the reproduction —
 * CPU-model job throughput (with preemption traffic),
 * Internet-checksum bandwidth,
 * mbuf chain build/free churn (exercises the free list),
-* full-stack round-trip wall time, and
-* cold serial Table 1 regeneration wall time —
+* timer re-arm hot paths (faithful cancel+schedule vs the engine's
+  ``reschedule`` fast path vs the tick wheel) at 1000 connections,
+* full-stack round-trip wall time,
+* cold serial Table 1 regeneration wall time, and
+* connection-scale closed-loop RPC workloads (events/s at 100, 1000
+  and 10000 concurrent connections) —
 
 writes ``BENCH_<label>.json`` at the current directory, and compares
-against a committed baseline (``benchmarks/baseline.json``) with a
-tolerance band.  The committed baseline is the repo's perf
-trajectory: update it (``repro bench --label baseline`` and copy the
-metrics into ``benchmarks/baseline.json``) whenever a PR deliberately
-moves the numbers.
+against a committed **per-path** baseline: ``benchmarks/baseline.json``
+for the pure interpreter and ``benchmarks/baseline_native.json`` for
+the compiled core (a compiled run compared against a pure baseline is
+a multi-x gap, not a signal).  The committed baselines are the repo's
+perf trajectory: update the matching one (``repro bench --label
+baseline`` and copy the metrics in) whenever a PR deliberately moves
+the numbers.
 
 Wall-clock reads here are deliberate (this *is* the wall-time
 harness) and never feed back into simulated time.
@@ -175,6 +181,99 @@ def bench_pcb_lookup(mode: str, entries: int) -> float:
     return rounds / elapsed
 
 
+def bench_timer_rearm(path: str, conns: int = 1000,
+                      ops: int = 200_000) -> float:
+    """Re-arms/sec of the per-ACK retransmit-timer pattern with *conns*
+    resident connections.
+
+    Every ACK pushes the retransmit timer out by a full RTO, so the arm
+    operation (not the expiry) is the hot path.  Three implementations:
+
+    * ``faithful``   — cancel + fresh schedule, the default kernel path
+      (one heap push plus a cancelled tombstone per ACK);
+    * ``reschedule`` — the engine's in-place deferral fast path (no
+      heap traffic when the new deadline is not earlier);
+    * ``wheel``      — :class:`~repro.tcp.timewheel.TimerWheel` arm, a
+      deadline overwrite in a dict (BSD's ``t_timer[]`` store).
+    """
+    sim = Simulator()
+    delay = 1_500_000_000  # a 1.5 s RTO, always re-armed before expiry
+
+    def noop() -> None:
+        pass
+
+    warmup = min(20_000, ops)  # untimed: specialize the hot bytecode
+
+    if path == "wheel":
+        from repro.tcp.timewheel import TimerWheel
+
+        wheel = TimerWheel(sim, fast_interval_ns=200_000_000,
+                           slow_interval_ns=500_000_000)
+        targets = [object() for _ in range(conns)]
+        arm = wheel.arm
+        for i in range(warmup):  # populates the resident set too
+            arm(targets[i % conns], "rexmt", delay)
+        start = time.perf_counter()  # repro: allow(wall-clock)
+        for i in range(ops):
+            arm(targets[i % conns], "rexmt", delay)
+        elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+        return ops / elapsed
+
+    calls = [sim.schedule(delay, noop) for _ in range(conns)]
+    if path == "reschedule":
+        reschedule = sim.reschedule
+        for i in range(warmup):
+            j = i % conns
+            calls[j] = reschedule(calls[j], delay)
+        start = time.perf_counter()  # repro: allow(wall-clock)
+        for i in range(ops):
+            j = i % conns
+            calls[j] = reschedule(calls[j], delay)
+        elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    elif path == "faithful":
+        schedule = sim.schedule
+        for i in range(warmup):
+            j = i % conns
+            calls[j].cancel()
+            calls[j] = schedule(delay, noop)
+        start = time.perf_counter()  # repro: allow(wall-clock)
+        for i in range(ops):
+            j = i % conns
+            calls[j].cancel()
+            calls[j] = schedule(delay, noop)
+        elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    else:
+        raise ValueError(f"unknown timer path {path!r}")
+    return ops / elapsed
+
+
+def bench_conn_scale(connections: int, scaled: bool = True,
+                     rounds: int = 2) -> float:
+    """Simulated events dispatched per wall second for an
+    N-connection closed-loop RPC workload.
+
+    The workload (``repro.core.workloads.run_connection_scale``) ramps
+    every connection up, holds all N open, then runs the RPC rounds
+    through a bounded window — so the number measures per-connection
+    kernel costs against full PCB tables, not queue-overflow recovery.
+    """
+    from repro.core.workloads import (
+        connection_scale_config,
+        run_connection_scale,
+    )
+
+    config = connection_scale_config(scaled=scaled)
+    start = time.perf_counter()  # repro: allow(wall-clock)
+    result = run_connection_scale(connections, rounds=rounds,
+                                  config=config)
+    elapsed = time.perf_counter() - start  # repro: allow(wall-clock)
+    if result.completed != connections:
+        raise RuntimeError(
+            f"conn_scale_{connections}: only {result.completed} of "
+            f"{connections} connections completed")
+    return result.events_executed / elapsed
+
+
 def bench_rtt_wall(size: int = 1400, iterations: int = 6,
                    warmup: int = 2, repeats: int = 5) -> float:
     """Wall ms for one full-stack round-trip benchmark point (best of
@@ -226,6 +325,22 @@ def run_benchmarks(quick: bool = False) -> Dict[str, float]:
         for entries in (1, 20, 1000):
             metrics[f"pcb_lookup_{mode}_{entries}_per_sec"] = \
                 bench_pcb_lookup(mode, entries)
+    # Timer re-arm hot paths, 1000 resident connections.
+    for path in ("faithful", "reschedule", "wheel"):
+        metrics[f"timer_rearm_{path}_per_sec"] = \
+            bench_timer_rearm(path, ops=200_000 // scale)
+    # Connection-scale closed-loop workloads: the scaled kernel at the
+    # three §3 population sizes, plus the paper-faithful kernel at 1000
+    # (the events/s denominator for the wheel's speedup claim).
+    metrics["conn_scale_100_events_per_sec"] = bench_conn_scale(100)
+    metrics["conn_scale_1000_events_per_sec"] = bench_conn_scale(1000)
+    metrics["conn_scale_1000_faithful_events_per_sec"] = \
+        bench_conn_scale(1000, scaled=False)
+    if not quick:
+        # ~1.9M simulated events; full runs only (minutes on the pure
+        # interpreter).
+        metrics["conn_scale_10000_events_per_sec"] = \
+            bench_conn_scale(10_000, rounds=1)
     return metrics
 
 

@@ -47,7 +47,10 @@ class TCPLayer:
             cache_enabled=host.config.header_prediction,
         )
         self.stats = TCPLayerStats()
-        self.connections: List[TCPConnection] = []
+        #: Insertion-ordered identity set: append and close are O(1)
+        #: (a plain list's ``remove`` made thousand-connection
+        #: teardown quadratic).  ``connections`` presents the list view.
+        self._connections: Dict[TCPConnection, None] = {}
         self._next_port = itertools.count(1024)
         self._iss = 1000
         self._populate_daemon_pcbs()
@@ -68,9 +71,14 @@ class TCPLayer:
     def allocate_port(self) -> int:
         for _ in range(65_000):
             port = 1024 + (next(self._next_port) % 64_000)
-            if not any(p.local_port == port for p in self.pcbs.pcbs):
+            if not self.pcbs.local_port_bound(port):
                 return port
         raise RuntimeError("out of ephemeral ports")
+
+    @property
+    def connections(self) -> List[TCPConnection]:
+        """Live connections, oldest first."""
+        return list(self._connections)
 
     # ------------------------------------------------------------------
     # Connection management (called by the socket layer)
@@ -83,12 +91,11 @@ class TCPLayer:
                   remote_ip=remote_ip, remote_port=remote_port)
         self.pcbs.insert(pcb)
         conn = TCPConnection(self.host, socket, pcb, iss=self.next_iss())
-        self.connections.append(conn)
+        self._connections[conn] = None
         return conn
 
     def connection_closed(self, conn: TCPConnection) -> None:
-        if conn in self.connections:
-            self.connections.remove(conn)
+        self._connections.pop(conn, None)
         try:
             self.pcbs.remove(conn.pcb)
         except Exception:
@@ -243,5 +250,5 @@ class TCPLayer:
         self.pcbs.insert(pcb)
         conn = TCPConnection(self.host, socket, pcb, iss=self.next_iss())
         conn.state = TCPState.LISTEN
-        self.connections.append(conn)
+        self._connections[conn] = None
         return conn

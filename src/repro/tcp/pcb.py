@@ -24,6 +24,9 @@ class PCBError(Exception):
 
 _FourTuple = Tuple[int, int, int, int]
 
+#: Sentinel distinguishing "absent" from a stored None in dict pops.
+_MISSING = object()
+
 
 class PCB:
     """One protocol control block: the 4-tuple plus its connection."""
@@ -81,20 +84,28 @@ class PCBTable:
         self.costs = costs
         self.mode = mode
         self.cache_enabled = cache_enabled
-        #: Most recently created PCB first, like BSD's in_pcballoc.
-        self._list: List[PCB] = []
+        #: The BSD list, stored as an insertion-ordered dict (used as an
+        #: ordered set keyed by identity) and iterated **newest first**
+        #: via ``reversed`` — the scan order of in_pcballoc's
+        #: head-insertion — so removal is O(1) instead of a list
+        #: ``remove`` that walls off thousand-connection teardown.
+        self._members: Dict[PCB, None] = {}
         self._hash: Dict[_FourTuple, PCB] = {}
+        #: local port -> number of PCBs bound to it, so ephemeral-port
+        #: allocation is a membership probe, not a table scan.
+        self._local_ports: Dict[int, int] = {}
         self._cache: Optional[PCB] = None
         self.lookups = 0
         self.cache_hits = 0
         self.entries_scanned = 0
 
     def __len__(self) -> int:
-        return len(self._list)
+        return len(self._members)
 
     @property
     def pcbs(self) -> List[PCB]:
-        return list(self._list)
+        """Most recently created PCB first, like BSD's in_pcballoc."""
+        return list(reversed(self._members))
 
     # ------------------------------------------------------------------
     # Mutation
@@ -103,17 +114,27 @@ class PCBTable:
         """Add a PCB at the head of the list (most recent first)."""
         if pcb.key in self._hash:
             raise PCBError(f"duplicate PCB binding {pcb.key}")
-        self._list.insert(0, pcb)
+        self._members[pcb] = None
         self._hash[pcb.key] = pcb
+        ports = self._local_ports
+        ports[pcb.local_port] = ports.get(pcb.local_port, 0) + 1
 
     def remove(self, pcb: PCB) -> None:
-        try:
-            self._list.remove(pcb)
-        except ValueError:
-            raise PCBError(f"PCB not in table: {pcb!r}") from None
+        if self._members.pop(pcb, _MISSING) is _MISSING:
+            raise PCBError(f"PCB not in table: {pcb!r}")
         del self._hash[pcb.key]
+        ports = self._local_ports
+        count = ports[pcb.local_port] - 1
+        if count:
+            ports[pcb.local_port] = count
+        else:
+            del ports[pcb.local_port]
         if self._cache is pcb:
             self._cache = None
+
+    def local_port_bound(self, port: int) -> bool:
+        """Whether any PCB is bound to local *port* (O(1))."""
+        return port in self._local_ports
 
     def rebind(self, pcb: PCB, remote_ip: int, remote_port: int) -> None:
         """in_pcbconnect: fill in the remote endpoint of a bound PCB."""
@@ -165,7 +186,7 @@ class PCBTable:
         but the scan continues looking for an exact match."""
         wildcard: Optional[PCB] = None
         scanned = 0
-        for pcb in self._list:
+        for pcb in reversed(self._members):
             scanned += 1
             if pcb.matches(local_ip, local_port, remote_ip, remote_port):
                 self.entries_scanned += scanned

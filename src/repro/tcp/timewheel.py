@@ -1,0 +1,183 @@
+"""Tick-driven TCP timer facility (BSD's tcp_fasttimo/tcp_slowtimo).
+
+The paper-faithful timer path schedules one engine callback per armed
+timer and cancels/re-arms the retransmit timer on nearly every ACK —
+per-connection heap churn that walls off thousand-connection workloads.
+Real BSD never did that: ``tcp_fasttimo`` (200 ms) and ``tcp_slowtimo``
+(500 ms) tick once per interval per host and walk the PCB list
+decrementing per-connection counters, so arming a timer is an integer
+store into ``t_timer[]``.
+
+:class:`TimerWheel` reproduces that structure behind
+``KernelConfig.timer_wheel`` (default **off**; ``REPRO_TIMER_WHEEL``
+env opt-in), keeping the per-callback path — and every golden — as the
+default:
+
+* Arming stores an **absolute nanosecond deadline** per (connection,
+  slot); re-arming overwrites it in place.  No heap operation, no
+  cancelled tombstone.
+* One wheel event per tick per host, regardless of connection count.
+  A tick walks the registered deadlines in insertion order (plain dict
+  iteration, deterministic) and fires the expired ones.
+* **Quantization never fires early**: a deadline expires at the first
+  tick boundary at or after its nominal expiry, so a timer that the
+  per-callback path would not have fired cannot fire here either —
+  clean runs produce identical segment sequences.
+* **Idle-skip**: tick events are only scheduled while at least one
+  deadline is armed on that cadence, and an empty tick does not
+  re-arm, so a quiet wheel costs nothing.  Tick boundaries are aligned
+  to the interval grid (``((now // interval) + 1) * interval``) so the
+  tick schedule is a pure function of arming times.
+
+Slots mirror BSD's ``t_timer[]``: ``delack`` rides the fast cadence;
+``rexmt``, ``persist`` and ``2msl`` ride the slow cadence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["TimerWheel", "FAST_SLOTS", "SLOW_SLOTS"]
+
+#: Slots flushed by the fast tick (tcp_fasttimo).
+FAST_SLOTS: Tuple[str, ...] = ("delack",)
+
+#: Slots aged by the slow tick (tcp_slowtimo).
+SLOW_SLOTS: Tuple[str, ...] = ("rexmt", "persist", "2msl")
+
+
+class TimerWheel:
+    """Per-host tick wheel: two cadences, per-connection deadlines.
+
+    *phase_ns* staggers this host's tick grid (boundaries sit at
+    ``k * interval + phase % interval``): real machines' softclocks are
+    not phase-locked, and without the stagger two hosts' wheels would
+    expire timers at identical nanoseconds — a same-timestamp ordering
+    the race detector rightly flags.  Hosts pass their IP address, a
+    stable per-host integer.
+    """
+
+    __slots__ = ("sim", "fast_interval", "slow_interval", "_fast_phase",
+                 "_slow_phase", "_deadlines", "_fast_tick", "_slow_tick",
+                 "ticks", "fired", "armed_ops", "cancelled_ops")
+
+    def __init__(self, sim, fast_interval_ns: int, slow_interval_ns: int,
+                 phase_ns: int = 0):
+        if fast_interval_ns <= 0 or slow_interval_ns <= 0:
+            raise ValueError("tick intervals must be positive")
+        self.sim = sim
+        self.fast_interval = fast_interval_ns
+        self.slow_interval = slow_interval_ns
+        self._fast_phase = phase_ns % fast_interval_ns
+        self._slow_phase = phase_ns % slow_interval_ns
+        #: slot -> {connection -> absolute quantized deadline (ns)}.
+        #: Insertion-ordered, so a tick's firing order is deterministic.
+        self._deadlines: Dict[str, Dict[object, int]] = {
+            slot: {} for slot in FAST_SLOTS + SLOW_SLOTS}
+        self._fast_tick = None
+        self._slow_tick = None
+        # Diagnostics (never feed back into timing).
+        self.ticks = 0
+        self.fired = 0
+        self.armed_ops = 0
+        self.cancelled_ops = 0
+
+    # ------------------------------------------------------------------
+    # Connection-facing API
+    # ------------------------------------------------------------------
+    def arm(self, conn, slot: str, delay_ns: int) -> None:
+        """Arm (or re-arm, overwriting in place) *slot* for *conn* to
+        expire at the first tick boundary at or after ``now + delay_ns``.
+
+        This is the per-ACK hot path (BSD's ``t_timer[TCPT_REXMT] =
+        rto``), so it is one modulo and two dict stores: the first
+        boundary ``>= nominal`` on the ``k*interval + phase`` grid is
+        ``nominal + (phase - nominal) % interval``.
+        """
+        if slot in FAST_SLOTS:
+            interval, phase = self.fast_interval, self._fast_phase
+            nominal = self.sim.now + delay_ns
+            self._deadlines[slot][conn] = \
+                nominal + (phase - nominal) % interval
+            self.armed_ops += 1
+            if self._fast_tick is None:
+                self._ensure_fast_tick()
+        else:
+            interval, phase = self.slow_interval, self._slow_phase
+            nominal = self.sim.now + delay_ns
+            self._deadlines[slot][conn] = \
+                nominal + (phase - nominal) % interval
+            self.armed_ops += 1
+            if self._slow_tick is None:
+                self._ensure_slow_tick()
+
+    def cancel(self, conn, slot: str) -> None:
+        """Disarm *slot* for *conn* (idempotent, dict pop only — the
+        pending tick event is left to no-op and not re-arm)."""
+        if self._deadlines[slot].pop(conn, None) is not None:
+            self.cancelled_ops += 1
+
+    def armed(self, conn, slot: str) -> bool:
+        """Whether *slot* is currently armed for *conn*."""
+        return conn in self._deadlines[slot]
+
+    def detach(self, conn) -> None:
+        """Drop every deadline for *conn* (connection teardown)."""
+        for slot in FAST_SLOTS + SLOW_SLOTS:
+            self.cancel(conn, slot)
+
+    # ------------------------------------------------------------------
+    # Tick machinery
+    # ------------------------------------------------------------------
+    def _next_tick_delay(self, interval: int, phase: int) -> int:
+        now = self.sim.now
+        return (((now - phase) // interval) + 1) * interval + phase - now
+
+    def _ensure_fast_tick(self) -> None:
+        if self._fast_tick is None:
+            delay = self._next_tick_delay(self.fast_interval,
+                                          self._fast_phase)
+            self._fast_tick = self.sim.schedule(delay, self._fast_fire)
+
+    def _ensure_slow_tick(self) -> None:
+        if self._slow_tick is None:
+            delay = self._next_tick_delay(self.slow_interval,
+                                          self._slow_phase)
+            self._slow_tick = self.sim.schedule(delay, self._slow_fire)
+
+    def _fast_fire(self) -> None:
+        self._fast_tick = None
+        self.ticks += 1
+        self._run_slots(FAST_SLOTS)
+        if any(self._deadlines[slot] for slot in FAST_SLOTS):
+            self._ensure_fast_tick()
+
+    def _slow_fire(self) -> None:
+        self._slow_tick = None
+        self.ticks += 1
+        self._run_slots(SLOW_SLOTS)
+        if any(self._deadlines[slot] for slot in SLOW_SLOTS):
+            self._ensure_slow_tick()
+
+    def _run_slots(self, slots: Tuple[str, ...]) -> None:
+        now = self.sim.now
+        for slot in slots:
+            table = self._deadlines[slot]
+            if not table:
+                continue
+            expired = [conn for conn, deadline in table.items()
+                       if deadline <= now]
+            for conn in expired:
+                # A handler that ran earlier this tick may have
+                # cancelled or pushed out this deadline: recheck.
+                deadline = table.get(conn)
+                if deadline is None or deadline > now:
+                    continue
+                del table[conn]
+                self.fired += 1
+                conn._wheel_expired(slot)
+
+    def __repr__(self) -> str:
+        armed = {slot: len(table)
+                 for slot, table in self._deadlines.items() if table}
+        return f"<TimerWheel ticks={self.ticks} armed={armed}>"

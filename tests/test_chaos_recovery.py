@@ -7,6 +7,8 @@ its output() comment), not by a lucky reverse-path segment.
 
 from dataclasses import replace
 
+import pytest
+
 from repro.chaos import (
     ImpairmentConfig,
     Impairments,
@@ -52,11 +54,11 @@ class TestChaosCell:
 
 
 class TestZeroWindowPersistRegression:
-    def _run(self, drop_updates: int):
+    def _run(self, drop_updates: int, timer_wheel: bool = False):
         """One-way transfer into a slow reader whose window-reopening
         ACK is deterministically dropped *drop_updates* times."""
         config = replace(KernelConfig(), recvspace=2048,
-                         sendspace=8192)
+                         sendspace=8192, timer_wheel=timer_wheel)
         impairments = Impairments(ImpairmentConfig(
             seed=7, drop_window_updates=drop_updates))
         testbed = build_atm_pair(config=config, impairments=impairments)
@@ -66,8 +68,10 @@ class TestZeroWindowPersistRegression:
         def server(listener):
             child = yield from listener.accept()
             # Sleep past the delayed-ACK timer so the full buffer is
-            # advertised as a real zero window before the app drains it.
-            yield testbed.sim.timeout(us(300_000))
+            # advertised as a real zero window before the app drains it
+            # (500 ms covers the wheel path too, whose tick quantizes
+            # the 200 ms delack out to at most 400 ms).
+            yield testbed.sim.timeout(us(500_000))
             data = yield from child.recv(size, exact=True)
             received.append(data)
 
@@ -86,14 +90,18 @@ class TestZeroWindowPersistRegression:
         conn = testbed.client.tcp.connections[0]
         return received, conn, impairments
 
-    def test_zero_window_advertised_and_reopened(self):
-        received, conn, impairments = self._run(drop_updates=0)
+    @pytest.mark.parametrize("timer_wheel", [False, True])
+    def test_zero_window_advertised_and_reopened(self, timer_wheel):
+        received, conn, impairments = self._run(drop_updates=0,
+                                                timer_wheel=timer_wheel)
         assert received and received[0] == payload_pattern(6000)
         assert impairments.stats.window_update_drops == 0
         assert conn.stats.persist_probes == 0
 
-    def test_lost_window_update_does_not_deadlock(self):
-        received, conn, impairments = self._run(drop_updates=1)
+    @pytest.mark.parametrize("timer_wheel", [False, True])
+    def test_lost_window_update_does_not_deadlock(self, timer_wheel):
+        received, conn, impairments = self._run(drop_updates=1,
+                                                timer_wheel=timer_wheel)
         # The update was really dropped, the transfer still completed,
         # and it was the persist timer that probed the window open.
         assert impairments.stats.window_update_drops == 1

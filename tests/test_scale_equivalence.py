@@ -1,0 +1,406 @@
+"""Connection-scale features must not change what TCP does on the wire.
+
+The timer wheel and batched softnet dispatch
+(``KernelConfig.timer_wheel`` / ``softnet_batch``) are performance
+features: with the flags on, a single-connection run must emit the
+*identical* segment sequence — same seq/ack/flags/length, clean or
+lossy — only at (possibly) different simulated instants.  This suite
+pins that contract at the packet-log level, unit-tests the wheel's
+quantization and idle-skip rules, checks ``reschedule()`` parity
+between the pure and compiled engines, and exercises the N-connection
+workload runner end to end.
+"""
+
+import pytest
+
+from repro.core.experiment import SERVER_PORT, payload_pattern
+from repro.core.packetlog import attach_packet_log
+from repro.core.testbed import build_atm_pair
+from repro.kern.config import KernelConfig
+from repro.sim import engine
+from repro.sim.engine import SchedulingError, Simulator
+from repro.tcp.timewheel import FAST_SLOTS, SLOW_SLOTS, TimerWheel
+from tests.test_tcp_recovery import DropNth
+
+
+def scale_config(on: bool, **kwargs) -> KernelConfig:
+    return KernelConfig(timer_wheel=on, softnet_batch=on, **kwargs)
+
+
+def _trace(log):
+    """The wire behaviour, stripped of timing: what was sent/received,
+    in order, but not when."""
+    return [(e.host, e.direction, e.src, e.dst, e.seq, e.ack,
+             e.flags, e.window, e.payload_len) for e in log.events]
+
+
+def _echo_run(flags_on: bool, size: int = 1400, rounds: int = 3,
+              drops=()):
+    """One echo exchange (optionally with deterministic loss), fully
+    closed and settled; returns (trace, client connection)."""
+    tb = build_atm_pair(config=scale_config(flags_on))
+    log = attach_packet_log(tb)
+    if drops:
+        tb.link.fault_injector = DropNth(*drops)
+    payload = payload_pattern(size)
+
+    def server(listener):
+        child = yield from listener.accept()
+        for _ in range(rounds):
+            data = yield from child.recv(size, exact=True)
+            if len(data) < size:
+                return
+            yield from child.send(data)
+        yield from child.close()
+
+    def client():
+        sock = tb.client.socket()
+        yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+        for _ in range(rounds):
+            yield from sock.send(payload)
+            data = yield from sock.recv(size, exact=True)
+            assert data == payload
+        yield from sock.close()
+        return sock
+
+    listener = tb.server.socket()
+    listener.listen(SERVER_PORT)
+    tb.server.spawn(server(listener), name="server")
+    done = tb.client.spawn(client(), name="client")
+    tb.sim.run_until_triggered(done)
+    tb.sim.run()  # settle: delayed ACKs, TIME_WAIT, stray timers
+    return _trace(log), done.value.conn
+
+
+class TestFlagEquivalence:
+    """Flag-on vs flag-off: identical segment sequences."""
+
+    def test_clean_exchange_identical_segments(self):
+        off, conn_off = _echo_run(False)
+        on, conn_on = _echo_run(True)
+        assert on == off
+        assert conn_on.stats.retransmits == conn_off.stats.retransmits == 0
+
+    def test_lossy_exchange_identical_segments(self):
+        # Drop a data segment and one retransmission: exercises rexmt
+        # backoff through the wheel's slow cadence.
+        off, conn_off = _echo_run(False, drops=(4, 5))
+        on, conn_on = _echo_run(True, drops=(4, 5))
+        assert on == off
+        assert conn_on.stats.retransmits == conn_off.stats.retransmits
+        assert conn_on.stats.retransmits >= 2
+
+    def test_small_payload_many_rounds(self):
+        off, _ = _echo_run(False, size=64, rounds=8)
+        on, _ = _echo_run(True, size=64, rounds=8)
+        assert on == off
+
+
+class _Expiries:
+    """Stand-in connection: records wheel expiry (slot, time) pairs."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.fired = []
+
+    def _wheel_expired(self, slot):
+        self.fired.append((slot, self.sim.now))
+
+
+class TestTimerWheelUnit:
+    FAST = 200_000_000
+    SLOW = 500_000_000
+
+    def _wheel(self, phase=0):
+        sim = Simulator()
+        wheel = TimerWheel(sim, fast_interval_ns=self.FAST,
+                           slow_interval_ns=self.SLOW, phase_ns=phase)
+        return sim, wheel
+
+    def test_rejects_nonpositive_intervals(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TimerWheel(sim, fast_interval_ns=0, slow_interval_ns=1)
+
+    @pytest.mark.parametrize("phase", [0, 7, 123_456_789])
+    def test_never_fires_early_and_quantizes_up(self, phase):
+        sim, wheel = self._wheel(phase=phase)
+        conn = _Expiries(sim)
+        delay = 650_000_000  # lands mid-interval on the slow cadence
+        wheel.arm(conn, "rexmt", delay)
+        nominal = sim.now + delay
+        sim.run()
+        assert len(conn.fired) == 1
+        slot, fired_at = conn.fired[0]
+        assert slot == "rexmt"
+        assert fired_at >= nominal
+        # First boundary at or after nominal on the k*SLOW+phase grid.
+        assert (fired_at - phase % self.SLOW) % self.SLOW == 0
+        assert fired_at - nominal < self.SLOW
+
+    def test_quantization_formula_matches_ceil(self):
+        # arm() computes the boundary with a single modulo; pin it to
+        # the obvious ceil-division form over a dense grid.
+        for interval in (3, 5, 8, 13):
+            for phase in range(interval):
+                for nominal in range(60):
+                    q, r = divmod(nominal - phase, interval)
+                    ceil_form = (q + (1 if r else 0)) * interval + phase
+                    assert (nominal + (phase - nominal) % interval
+                            == ceil_form)
+
+    def test_phase_staggers_two_hosts(self):
+        fired = []
+        for phase in (0, 70_000_000):
+            sim, wheel = self._wheel(phase=phase)
+            conn = _Expiries(sim)
+            wheel.arm(conn, "rexmt", 600_000_000)
+            sim.run()
+            fired.append(conn.fired[0][1])
+        assert fired[0] != fired[1]
+
+    def test_rearm_overwrites_in_place(self):
+        sim, wheel = self._wheel()
+        conn = _Expiries(sim)
+        wheel.arm(conn, "rexmt", 500_000_000)
+        wheel.arm(conn, "rexmt", 1_700_000_000)  # pushed out, one entry
+        sim.run()
+        assert len(conn.fired) == 1
+        assert conn.fired[0][1] >= 1_700_000_000
+
+    def test_cancel_is_idempotent_and_detach_clears_all(self):
+        sim, wheel = self._wheel()
+        conn = _Expiries(sim)
+        for slot in FAST_SLOTS + SLOW_SLOTS:
+            wheel.arm(conn, slot, 300_000_000)
+            assert wheel.armed(conn, slot)
+        wheel.cancel(conn, "rexmt")
+        wheel.cancel(conn, "rexmt")  # second cancel is a no-op
+        wheel.detach(conn)
+        for slot in FAST_SLOTS + SLOW_SLOTS:
+            assert not wheel.armed(conn, slot)
+        sim.run()
+        assert conn.fired == []
+
+    def test_idle_wheel_schedules_nothing(self):
+        sim, wheel = self._wheel()
+        sim.run()  # returns immediately: no tick events exist
+        assert wheel.ticks == 0
+        assert sim.now == 0
+
+    def test_ticks_stop_after_last_deadline(self):
+        sim, wheel = self._wheel()
+        conn = _Expiries(sim)
+        wheel.arm(conn, "delack", 100_000_000)
+        sim.run()
+        assert conn.fired and wheel.ticks >= 1
+        ticks_after = wheel.ticks
+        # The engine drained: no tick keeps re-arming on an empty wheel.
+        assert wheel._fast_tick is None and wheel._slow_tick is None
+        sim.run()
+        assert wheel.ticks == ticks_after
+
+
+class TestRescheduleSemantics:
+    """Engine-level contract of the reschedule() fast path (runs on
+    whichever engine REPRO_NATIVE selected for this interpreter)."""
+
+    def test_defer_returns_same_handle_and_fires_once(self):
+        sim = Simulator()
+        fired = []
+        call = sim.schedule(100, lambda: fired.append(sim.now))
+        again = sim.reschedule(call, 250)
+        assert again is call
+        sim.run()
+        assert fired == [250]
+
+    def test_deferred_call_keeps_original_tiebreak(self):
+        # a scheduled first, deferred onto b's time: a still fires
+        # first among equals (cancel+schedule would order it after b).
+        sim = Simulator()
+        order = []
+        a = sim.schedule(100, lambda: order.append("a"))
+        sim.schedule(250, lambda: order.append("b"))
+        sim.reschedule(a, 250)
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_earlier_target_falls_back_to_fresh_handle(self):
+        sim = Simulator()
+        fired = []
+        call = sim.schedule(500, lambda: fired.append(sim.now))
+        new = sim.reschedule(call, 100)
+        assert new is not call
+        sim.run()
+        assert fired == [100]
+
+    def test_run_until_respects_deferred_time(self):
+        sim = Simulator()
+        fired = []
+        call = sim.schedule(100, lambda: fired.append(sim.now))
+        sim.reschedule(call, 300)
+        sim.run(until=200)  # past the stale heap key, before the real one
+        assert fired == []
+        sim.run(until=300)
+        assert fired == [300]
+
+    def test_reschedule_cancelled_call_raises(self):
+        sim = Simulator()
+        call = sim.schedule(100, lambda: None)
+        call.cancel()
+        with pytest.raises(SchedulingError,
+                           match="reschedule\\(\\) on a cancelled call"):
+            sim.reschedule(call, 50)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        call = sim.schedule(100, lambda: None)
+        with pytest.raises(SchedulingError, match="negative delay"):
+            sim.reschedule(call, -1)
+
+    def test_repeated_defers_like_per_ack_rearm(self):
+        sim = Simulator()
+        fired = []
+        call = sim.schedule(1_000, lambda: fired.append(sim.now))
+        for i in range(1, 200):
+            call = sim.reschedule(call, 1_000 + i)
+        sim.run()
+        assert fired == [1_199]
+
+
+@pytest.mark.skipif(getattr(engine, "_NativeSimulator", None) is None,
+                    reason="compiled engine not in use")
+class TestReschedulePureNativeParity:
+    """The same scripted scenario must execute identically on the pure
+    and compiled engines — order, times, handles, and errors."""
+
+    @staticmethod
+    def _drive(cls):
+        sim = cls()
+        order = []
+
+        def mk(tag):
+            return lambda: order.append((tag, sim.now))
+
+        a = sim.schedule(100, mk("a"))
+        b = sim.schedule(200, mk("b"))
+        c = sim.schedule(300, mk("c"))
+        assert sim.reschedule(a, 250) is a       # defer in place
+        c2 = sim.reschedule(c, 50)               # earlier: fresh handle
+        assert c2 is not c
+        b.cancel()
+        sim.schedule(250, mk("d"))               # ties with deferred a
+        sim.run(until=120)                       # stale key of a surfaces
+        sim.schedule(260, mk("e"))
+        sim.run()
+        return order
+
+    def test_execution_order_identical(self):
+        pure = self._drive(engine._PurePythonSimulator)
+        native = self._drive(engine._NativeSimulator)
+        assert native == pure
+        assert [tag for tag, _ in pure] == ["c", "a", "d", "e"]
+
+    def test_error_messages_identical(self):
+        messages = []
+        for cls in (engine._PurePythonSimulator, engine._NativeSimulator):
+            sim = cls()
+            call = sim.schedule(10, lambda: None)
+            call.cancel()
+            with pytest.raises(SchedulingError) as cancelled:
+                sim.reschedule(call, 5)
+            live = sim.schedule(10, lambda: None)
+            with pytest.raises(SchedulingError) as negative:
+                sim.reschedule(live, -7)
+            messages.append((str(cancelled.value), str(negative.value)))
+        assert messages[0] == messages[1]
+
+
+class TestTimeWaitAtScale:
+    @pytest.mark.parametrize("flags_on", [False, True])
+    def test_many_time_waits_expire_and_drain(self, flags_on):
+        """Dozens of client connections close together: every 2MSL
+        expiry fires (batched onto slow ticks when the wheel is on),
+        all connections reach CLOSED, and both PCB tables drain back
+        to the daemon entries."""
+        from repro.tcp.states import TCPState
+
+        config = scale_config(flags_on)
+        tb = build_atm_pair(config=config)
+        count = 40
+        finished = [0]
+        done = tb.sim.event(name="all-closed")
+
+        def server(listener):
+            for _ in range(count):
+                child = yield from listener.accept()
+                tb.server.spawn(drain(child), name="drain")
+
+        def drain(child):
+            yield from child.recv(1, exact=True)  # EOF
+            yield from child.close()
+
+        def client():
+            sock = tb.client.socket()
+            yield from sock.connect(tb.server.address.ip, SERVER_PORT)
+            yield from sock.close()
+            finished[0] += 1
+            if finished[0] == count:
+                done.succeed(None)
+            return sock
+
+        listener = tb.server.socket()
+        listener.listen(SERVER_PORT)
+        tb.server.spawn(server(listener), name="acceptor")
+        socks = [tb.client.spawn(client(), name=f"closer-{i}")
+                 for i in range(count)]
+        tb.sim.run_until_triggered(done)
+        tb.sim.run()  # drain TIME_WAIT (2MSL) and stray timers
+        for proc in socks:
+            assert proc.value.conn.state is TCPState.CLOSED
+        daemons = config.daemon_pcbs
+        assert len(tb.client.tcp.pcbs) == daemons
+        assert tb.client.tcp.connections == []
+        if flags_on:
+            assert tb.client.timer_wheel.ticks >= 1
+            assert tb.client.timer_wheel.fired >= count
+
+    @pytest.mark.parametrize("flags_on", [False, True])
+    def test_pcb_tables_drain_after_close(self, flags_on):
+        from repro.core.workloads import run_connection_scale
+
+        config = scale_config(flags_on)
+        tb = build_atm_pair(config=config)
+        daemons = config.daemon_pcbs
+        # A fresh testbed holds only the daemon PCBs.
+        assert len(tb.client.tcp.pcbs) == daemons
+        result = run_connection_scale(30, rounds=1, config=config)
+        assert result.completed == 30
+
+
+class TestConnScaleRunner:
+    @pytest.mark.parametrize("scaled", [False, True])
+    def test_hundred_connections_complete(self, scaled):
+        from repro.core.workloads import (
+            connection_scale_config,
+            run_connection_scale,
+        )
+
+        result = run_connection_scale(
+            100, rounds=2, config=connection_scale_config(scaled=scaled))
+        assert result.completed == result.connections == 100
+        assert result.retransmits == 0
+        assert result.events_executed > 0
+        assert result.sim_duration_us > 0
+        # Every connection moved its RPC bytes both ways.
+        assert result.segments_received >= 100 * 2 * 2
+        if scaled:
+            assert result.wheel_ticks >= 1
+        else:
+            assert result.wheel_ticks == 0
+
+    def test_rejects_bad_window(self):
+        from repro.core.workloads import run_connection_scale
+
+        with pytest.raises(ValueError):
+            run_connection_scale(2, window=0)

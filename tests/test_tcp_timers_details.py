@@ -38,10 +38,14 @@ def echo_pair(tb, size, rounds=1, post_run_ns=0):
 
 
 class TestDelackTimer:
-    def test_final_reply_acked_by_delack_timer(self):
+    @pytest.mark.parametrize("timer_wheel", [False, True])
+    def test_final_reply_acked_by_delack_timer(self, timer_wheel):
         """The last reply in an exchange has no piggyback opportunity;
-        the 200 ms fast-timer ACK covers it."""
-        tb = build_atm_pair()
+        the 200 ms fast-timer ACK covers it — whether that timer is a
+        per-connection callback or a fast-tick wheel slot (whose
+        quantization delays it to at most 400 ms, inside the grace
+        period)."""
+        tb = build_atm_pair(config=KernelConfig(timer_wheel=timer_wheel))
         csock, ssock = echo_pair(tb, 500, rounds=2,
                                  post_run_ns=400_000_000)
         # After the grace period, everything the server sent is acked.
@@ -56,8 +60,9 @@ class TestDelackTimer:
 
 
 class TestTimeWait:
-    def test_time_wait_expires_to_closed(self):
-        tb = build_atm_pair()
+    @pytest.mark.parametrize("timer_wheel", [False, True])
+    def test_time_wait_expires_to_closed(self, timer_wheel):
+        tb = build_atm_pair(config=KernelConfig(timer_wheel=timer_wheel))
         listener = tb.server.socket()
         listener.listen(SERVER_PORT)
 
