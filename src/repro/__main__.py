@@ -710,6 +710,103 @@ def cmd_chaos(args) -> int:
     return 1 if bad else 0
 
 
+def cmd_fuzz(args) -> int:
+    """``python -m repro fuzz [--seeds N] [--packets N] [--budget SECS]
+    [--replay CASE|DIR] [--save DIR] [--network NET] [--seed N]
+    [--format text|json|github]``.
+
+    Without ``--replay``: run a fixed-seed mutation campaign and
+    report deduplicated, ddmin-minimized failures through the shared
+    finding pipeline.  With ``--replay``: re-run one committed corpus
+    case (or every ``*.json`` in a directory) against the current
+    stack and fail if any no longer recovers or skips its expected
+    drop accounting.
+    """
+    import glob
+    import os
+
+    from repro.analysis.findings import Finding, Severity
+    from repro.chaos.triage import (campaign_findings, replay_case,
+                                    run_fuzz_campaign)
+
+    seeds, packets, budget = 8, 2000, None
+    base_seed, network = 1994, "atm"
+    replay, save_dir, fmt = None, None, "text"
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("--seeds", "--packets", "--budget", "--replay",
+                   "--save", "--network", "--seed", "--format"):
+            if i + 1 >= len(args):
+                print(f"fuzz: {arg} needs a value")
+                return 2
+            value = args[i + 1]
+            try:
+                if arg == "--seeds":
+                    seeds = int(value)
+                elif arg == "--packets":
+                    packets = int(value)
+                elif arg == "--budget":
+                    budget = float(value)
+                elif arg == "--replay":
+                    replay = value
+                elif arg == "--save":
+                    save_dir = value
+                elif arg == "--network":
+                    network = value
+                elif arg == "--seed":
+                    base_seed = int(value)
+                elif value in FINDING_FORMATS:
+                    fmt = value
+                else:
+                    print(f"fuzz: --format must be one of "
+                          f"{'/'.join(FINDING_FORMATS)}")
+                    return 2
+            except ValueError:
+                print(f"fuzz: bad value for {arg}: {value!r}")
+                return 2
+            i += 2
+        else:
+            print(f"fuzz: unknown argument {arg}")
+            return 2
+
+    if replay is not None:
+        cases = (sorted(glob.glob(os.path.join(replay, "*.json")))
+                 if os.path.isdir(replay) else [replay])
+        findings = []
+        for path in cases:
+            cell = replay_case(path)
+            for violation in cell.violations:
+                rule = violation.split(":", 1)[0]
+                findings.append(Finding(
+                    path=path, line=1, col=1, rule=f"fuzz-replay-{rule}",
+                    severity=Severity.ERROR, message=violation))
+            if fmt == "text":
+                status = "ok" if cell.ok else "FAIL"
+                print(f"fuzz replay {os.path.basename(path)}: {status} "
+                      f"({cell.completed}/{cell.iterations} iterations)")
+        return _render_findings("fuzz", findings, fmt, cases)
+
+    log = print if fmt == "text" else (lambda _msg: None)
+    campaign = run_fuzz_campaign(seeds=seeds, packets=packets,
+                                 network=network, base_seed=base_seed,
+                                 budget_secs=budget, log=log)
+    if fmt == "text":
+        print(f"fuzz: {campaign.cells} cell(s), "
+              f"{campaign.mutated_packets} mutated packets "
+              f"({campaign.packets_seen} seen), "
+              f"{len(campaign.failures)} unique failure(s)")
+    if save_dir is not None and campaign.failures:
+        from repro.chaos.triage import save_case
+        for failure in campaign.failures:
+            path = save_case(failure, save_dir)
+            if fmt == "text":
+                print(f"fuzz: saved reproducer {path}")
+    return _render_findings(
+        "fuzz", campaign_findings(campaign, corpus_dir=save_dir),
+        fmt, [f"campaign seed={base_seed} seeds={seeds}"])
+
+
 def _default_baseline_path():
     """The committed baseline matching this run's execution path.
 
@@ -863,12 +960,14 @@ def main(argv) -> int:
         return cmd_bench(args[1:])
     if args and args[0] == "chaos":
         return cmd_chaos(args[1:])
+    if args and args[0] == "fuzz":
+        return cmd_fuzz(args[1:])
     names = args or list(SECTIONS)
     unknown = [n for n in names if n not in SECTIONS]
     if unknown:
         print(f"unknown section(s): {', '.join(unknown)}")
         print(f"available: {' '.join(SECTIONS)} trace metrics explain "
-              f"lint sanitize racecheck bench chaos --list "
+              f"lint sanitize racecheck bench chaos fuzz --list "
               f"[--parallel N] [--no-cache]")
         return 2
     for i, name in enumerate(names):

@@ -76,6 +76,16 @@ SPEC: Tuple[Tuple[str, str, str], ...] = (
     ("LAST_ACK", "rcv-ack-of-fin", "CLOSED"),
     ("SYN_SENT", "rcv-rst", "CLOSED"),
     ("sync", "rcv-rst", "CLOSED"),
+    # An in-window SYN on a synchronized connection means the peer
+    # restarted: RFC 793 p.71 resets (out-of-window SYNs are dropped
+    # and re-ACKed; no RFC 5961 challenge-ACK machinery).
+    ("ESTABLISHED", "rcv-syn", "CLOSED"),
+    ("CLOSE_WAIT", "rcv-syn", "CLOSED"),
+    ("FIN_WAIT_1", "rcv-syn", "CLOSED"),
+    ("FIN_WAIT_2", "rcv-syn", "CLOSED"),
+    ("CLOSING", "rcv-syn", "CLOSED"),
+    ("LAST_ACK", "rcv-syn", "CLOSED"),
+    ("TIME_WAIT", "rcv-syn", "CLOSED"),
     ("CLOSED", "usr-close", "CLOSED"),
     ("LISTEN", "usr-close", "CLOSED"),
     ("SYN_SENT", "usr-close", "CLOSED"),
@@ -117,8 +127,9 @@ IGNORED: Tuple[Tuple[str, str, str], ...] = (
      "retransmitted SYN is re-ACKed without a state change "
      "(tcp_input slow path)"),
     ("*", "rcv-syn",
-     "a SYN on a synchronized or closed connection is dropped by this "
-     "model (no RFC 5961 challenge-ACK machinery in BSD 4.4 alpha)"),
+     "a stray SYN for a dead (CLOSED) connection is counted as a bad "
+     "segment and dropped; in-window SYNs on synchronized states are "
+     "declared rcv-syn resets, out-of-window SYNs are dropped+re-ACKed"),
     ("*", "rcv-syn-ack",
      "outside SYN_SENT the segment is handled by the ordinary "
      "rcv-syn / rcv-ack-of-* paths"),
@@ -597,6 +608,8 @@ class StateMachineChecker:
         if func in ("_slow_path", "_fast_path", "input"):
             if holds("TCPFlags.RST"):
                 return "rcv-rst"
+            if holds("TCPFlags.SYN"):
+                return "rcv-syn"
             if holds("fin"):
                 return "rcv-fin"
             return None

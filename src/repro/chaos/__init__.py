@@ -4,6 +4,10 @@
 loss, duplication, reordering, jitter, truncation, resource clamps) on
 the simulated wire; :mod:`repro.chaos.harness` runs the paper's echo
 benchmark under them and audits TCP's recovery invariants.
+:mod:`repro.chaos.fuzz` mutates in-flight PDU *content* (TCP/IP
+headers, raw frame bytes) with exact schedule replay, and
+:mod:`repro.chaos.triage` runs fuzz campaigns, deduplicates failures,
+ddmin-minimizes reproducers, and replays the committed corpus.
 """
 
 from repro.chaos.impair import (
@@ -23,10 +27,36 @@ from repro.chaos.harness import (
     run_chaos_cell,
     run_loss_sweep,
 )
+from repro.chaos.fuzz import (
+    ALL_OPS,
+    FuzzConfig,
+    FuzzStats,
+    PacketFuzzer,
+    apply_mutation,
+    mutation_level,
+)
+from repro.chaos.triage import (
+    DEFAULT_FUZZ_SIZES,
+    CampaignResult,
+    FuzzCellResult,
+    FuzzFailure,
+    campaign_findings,
+    ddmin_schedule,
+    load_case,
+    replay_case,
+    run_fuzz_campaign,
+    run_fuzz_cell,
+    save_case,
+)
 
 __all__ = [
     "ChaosStats", "GilbertElliott", "ImpairmentConfig", "Impairments",
     "ResourceClamp", "ChaosCellResult", "run_chaos_cell",
     "run_loss_sweep", "format_loss_sweep", "digest_chaos",
     "racecheck_chaos", "DEFAULT_LOSSES", "DEFAULT_SIZES",
+    "FuzzConfig", "FuzzStats", "PacketFuzzer", "apply_mutation",
+    "mutation_level", "ALL_OPS", "FuzzCellResult", "FuzzFailure",
+    "CampaignResult", "run_fuzz_cell", "run_fuzz_campaign",
+    "ddmin_schedule", "save_case", "load_case", "replay_case",
+    "campaign_findings", "DEFAULT_FUZZ_SIZES",
 ]

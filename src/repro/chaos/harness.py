@@ -291,12 +291,13 @@ def digest_chaos(tiebreak: Optional[str] = None,
                  size: int = 1400, loss: float = 0.02,
                  seed: int = 1994, network: str = "atm",
                  iterations: int = 6, warmup: int = 1,
+                 config: Optional[KernelConfig] = None,
                  impairment_config: Optional[ImpairmentConfig] = None,
                  ) -> RunDigest:
     """One impaired run digested for tie-break comparison."""
     cell = run_chaos_cell(size=size, loss=loss, seed=seed,
                           network=network, iterations=iterations,
-                          warmup=warmup,
+                          warmup=warmup, config=config,
                           impairment_config=impairment_config,
                           tiebreak=tiebreak)
     return RunDigest(
@@ -311,6 +312,7 @@ def digest_chaos(tiebreak: Optional[str] = None,
 def racecheck_chaos(size: int = 1400, loss: float = 0.02,
                     seed: int = 1994, network: str = "atm",
                     iterations: int = 6, warmup: int = 1,
+                    config: Optional[KernelConfig] = None,
                     impairment_config: Optional[ImpairmentConfig] = None,
                     perturbations: Sequence[str] = DEFAULT_PERTURBATIONS,
                     ) -> RaceReport:
@@ -321,6 +323,7 @@ def racecheck_chaos(size: int = 1400, loss: float = 0.02,
         return digest_chaos(tiebreak=tiebreak, size=size, loss=loss,
                             seed=seed, network=network,
                             iterations=iterations, warmup=warmup,
+                            config=config,
                             impairment_config=impairment_config)
     return check_scenario(make_digest, target="chaos",
                           perturbations=perturbations)

@@ -12,7 +12,8 @@ import itertools
 from typing import Generator
 
 from repro.ip.fragment import IP_MF, FragmentReassembler, fragment_packet
-from repro.net.headers import HeaderError, IPHeader, PROTO_TCP
+from repro.net.headers import (HeaderError, IP_HEADER_LEN, IPHeader,
+                               PROTO_TCP)
 from repro.net.packet import Packet
 from repro.sim.cpu import Priority
 from repro.sim.engine import us
@@ -26,7 +27,8 @@ class IPError(Exception):
 
 class IPStats:
     __slots__ = ("sent", "received", "hdr_cksum_errors", "not_tcp",
-                 "delivered", "fragments_sent", "fragments_received")
+                 "delivered", "fragments_sent", "fragments_received",
+                 "bad_headers")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -121,6 +123,21 @@ class IPLayer:
                 self.host.lineage.mark_dropped(packet.lineage,
                                                "ip-hdr-cksum")
             return
+        # Total-length sanity (ip_input's ip_len checks): the field
+        # must cover at least the header and at most the bytes that
+        # actually arrived; link-layer padding beyond ip_len is
+        # trimmed so it never reaches the transport checksum.
+        total_length = ip_hdr.total_length
+        if total_length < IP_HEADER_LEN or total_length > len(packet.data):
+            self.stats.bad_headers += 1
+            if self.host.metrics is not None:
+                self.host.metrics.inc("ip.bad_headers")
+            if self.host.lineage is not None:
+                self.host.lineage.mark_dropped(packet.lineage,
+                                               "ip-bad-length")
+            return
+        if total_length < len(packet.data):
+            packet.data = packet.data[:total_length]
         if ip_hdr.flags_fragment & (IP_MF | 0x1FFF):
             # A fragment: hand to the reassembler; continue only when a
             # datagram completes.

@@ -67,6 +67,11 @@ class Host:
         self.ip.register_protocol(PROTO_TCP, self._tcp_input)
         self.udp = UDPLayer(self)
         self.interface = None
+        #: Every socket ever opened on this host, in creation order —
+        #: lets audits (chaos/fuzz harnesses) find buffers orphaned by
+        #: a process that died without closing, and model the
+        #: process-exit soclose that reclaims them.
+        self.sockets = []
         #: Optional tcpdump-style tracer (see repro.core.packetlog).
         self.packet_log = None
         #: Observability pipeline (see repro.obs): a ScopedMetrics view

@@ -319,6 +319,22 @@ class Observer:
                 for field in host.tcp.stats.__slots__:
                     scoped.set_gauge(f"tcpstat.{field}",
                                      getattr(host.tcp.stats, field))
+                for field in host.ip.stats.__slots__:
+                    scoped.set_gauge(f"ipstat.{field}",
+                                     getattr(host.ip.stats, field))
+                # Input-validation drop totals (layer + per-connection),
+                # the gauges fuzz oracles and operators key on.
+                bad_segments = host.tcp.stats.bad_segments
+                rst_dropped = host.tcp.stats.rst_dropped
+                bad_options = host.tcp.stats.bad_options
+                for conn in host.tcp.connections:
+                    bad_segments += conn.stats.bad_segments
+                    rst_dropped += conn.stats.rst_dropped
+                    bad_options += conn.stats.bad_options
+                scoped.set_gauge("tcp.bad_segments", bad_segments)
+                scoped.set_gauge("tcp.rst_dropped", rst_dropped)
+                scoped.set_gauge("tcp.bad_options", bad_options)
+                scoped.set_gauge("ip.bad_headers", host.ip.stats.bad_headers)
             impairments = getattr(tb.link, "impairments", None)
             if impairments is not None:
                 # Injected-impairment totals (link-wide, not per host).

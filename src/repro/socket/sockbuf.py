@@ -62,6 +62,17 @@ class SockBuf:
         self.drops += 1
         return self.pool.drop_front(self.chain, nbytes)
 
+    def flush(self) -> None:
+        """sbflush: release every buffered mbuf (socket teardown).
+
+        Unlike :meth:`drop`, this also frees zero-length mbufs left by
+        trimming, so a torn-down socket holds nothing from the pool.
+        """
+        if self.chain.mbuf_count:
+            self.pool.free_chain(self.chain)
+            self.chain = MbufChain()
+            self.drops += 1
+
     def peek(self, nbytes: int) -> bytes:
         """The first *nbytes* buffered bytes, without consuming them."""
         take = min(nbytes, self.cc)

@@ -46,6 +46,9 @@ class Socket:
         self.accept_queue: Optional[Store] = None
         Socket._counter += 1
         self.sock_id = Socket._counter
+        registry = getattr(host, "sockets", None)
+        if registry is not None:
+            registry.append(self)
 
     # ------------------------------------------------------------------
     # Sleep channels

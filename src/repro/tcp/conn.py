@@ -45,7 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.tcp.pcb import PCB
 
 __all__ = ["TCPConnection", "ConnectionStats", "TCPError",
-           "ConnectionReset", "ConnectionTimedOut"]
+           "ConnectionReset", "ConnectionTimedOut", "TCP_MINMSS"]
+
+#: Floor on the negotiated MSS (tcp_mss's TCP_MINMSS idea): a poisoned
+#: MSS option must not melt the connection into one-byte segments.
+TCP_MINMSS = 32
 
 
 class TCPError(Exception):
@@ -70,6 +74,7 @@ class ConnectionStats:
         "retransmits", "dup_segments", "out_of_order", "cksum_errors",
         "partial_cksum_hits", "partial_cksum_misses", "delayed_acks_fired",
         "persist_probes", "rtx_shift_max", "mbuf_drops",
+        "bad_segments", "rst_dropped", "bad_options",
     )
 
     def __init__(self) -> None:
@@ -600,12 +605,26 @@ class TCPConnection:
         flags = tcp_hdr.flags
         if flags & TCPFlags.RST:
             if self.state is TCPState.SYN_SENT:
-                # RST answering our SYN: connection refused.
-                self._drop_connection(
-                    ConnectionReset("connection refused"))
+                # RST answering our SYN: honored only with an
+                # acceptable ACK (RFC 793 p.67) — anything else is a
+                # blind connection-refused forgery.
+                if flags & TCPFlags.ACK and \
+                        tcp_hdr.ack == seq_add(self.iss, 1):
+                    self._drop_connection(
+                        ConnectionReset("connection refused"))
+                    yield from self._wake_all(priority)
+                else:
+                    self._count_rst_dropped()
             elif self.state.synchronized:
-                self._drop_connection(ConnectionReset("connection reset"))
-            yield from self._wake_all(priority)
+                # RFC 793 p.37: an RST is valid only if its sequence
+                # number is in the receive window; a blind RST with a
+                # guessed seq must not kill the connection.
+                if self._segment_in_window(tcp_hdr.seq):
+                    self._drop_connection(
+                        ConnectionReset("connection reset"))
+                    yield from self._wake_all(priority)
+                else:
+                    self._count_rst_dropped()
             return
 
         if self.state is TCPState.SYN_SENT:
@@ -616,11 +635,36 @@ class TCPConnection:
         data = payload
         fin = bool(flags & TCPFlags.FIN)
 
-        if flags & TCPFlags.SYN and self.state is TCPState.SYN_RECEIVED:
-            # Retransmitted SYN: re-ack it.
-            self.ack_now = True
+        if flags & TCPFlags.SYN:
+            if self.state is TCPState.SYN_RECEIVED:
+                # Retransmitted SYN: re-ack it.
+                self.ack_now = True
+            elif not self.state.synchronized:
+                # Stray SYN for a dead (CLOSED) connection: nothing
+                # to reset, nothing to re-ack.
+                self._count_bad_segment()
+                return
+            elif self._segment_in_window(tcp_hdr.seq):
+                # In-window SYN on a synchronized connection: the peer
+                # restarted (RFC 793 p.71) — reset and tell the user
+                # (no RFC 5961 challenge-ACK machinery in 4.4BSD).
+                self._count_bad_segment()
+                self._drop_connection(ConnectionReset("connection reset"))
+                yield from self._wake_all(priority)
+                return
+            else:
+                # Blind SYN outside the window: drop it and re-ack so
+                # a legitimate-but-confused peer learns where we are.
+                self._count_bad_segment()
+                self.ack_now = True
             yield from self.output(priority)
             self.end_output_call()
+            return
+
+        if not flags & TCPFlags.ACK:
+            # RFC 793 p.72: every post-handshake segment carries ACK;
+            # a flagless or FIN-only segment without it is dropped.
+            self._count_bad_segment()
             return
 
         # Trim duplicate data below rcv_nxt.
@@ -693,6 +737,15 @@ class TCPConnection:
                 self._note_delack()
                 yield from self.host.scheduler.wakeup(
                     self.socket.rcv_channel, priority)
+            elif seq_diff(seq, self.rcv_nxt) + len(data) > \
+                    self.socket.so_rcv.hiwat:
+                # Out-of-order data beyond any window we could ever
+                # have advertised (e.g. a mutated or forged sequence
+                # number): queueing it would pin buffer space for data
+                # that can never be drained.  Drop and dup-ACK.
+                self._count_bad_segment()
+                self.ack_now = True
+                fin = False
             else:
                 self.reassembly.insert(seq, data)
                 self.stats.out_of_order += 1
@@ -723,6 +776,9 @@ class TCPConnection:
                         priority: int) -> Generator:
         flags = tcp_hdr.flags
         if not flags & TCPFlags.SYN:
+            # Only a SYN (or RST, handled earlier) means anything in
+            # SYN_SENT; stray ACKs/data are hostile or very stale.
+            self._count_bad_segment()
             return
         self.irs = tcp_hdr.seq
         self.rcv_nxt = seq_add(tcp_hdr.seq, 1)
@@ -815,7 +871,15 @@ class TCPConnection:
 
     def _negotiate(self, opts: TCPOptions, syn_ack: bool) -> None:
         """Apply the peer's SYN options."""
+        if opts.malformed:
+            self._count_bad_option()
         peer_mss = opts.mss if opts.mss else 536
+        if peer_mss < TCP_MINMSS:
+            # A poisoned MSS would shatter every write into tiny
+            # segments (an event-amplification attack on the stack);
+            # clamp to the floor and account for the hostile option.
+            self._count_bad_option()
+            peer_mss = TCP_MINMSS
         self.t_maxseg = min(peer_mss, self.local_mss())
         self.snd_cwnd = self.t_maxseg  # slow start from one segment
         self._grant_no_checksum = (self.checksum_off_requested
@@ -831,6 +895,33 @@ class TCPConnection:
     # ------------------------------------------------------------------
     # Receive-side helpers
     # ------------------------------------------------------------------
+    def _segment_in_window(self, seq: int) -> bool:
+        """RFC 793 acceptability of *seq* against the receive window.
+
+        With a closed window only ``seq == rcv_nxt`` is acceptable;
+        otherwise ``rcv_nxt <= seq < rcv_nxt + wnd`` in sequence space.
+        """
+        wnd = min(self.socket.so_rcv.space, 0xFFFF)
+        if wnd == 0:
+            return seq == self.rcv_nxt
+        return (seq_geq(seq, self.rcv_nxt)
+                and seq_lt(seq, seq_add(self.rcv_nxt, wnd)))
+
+    def _count_rst_dropped(self) -> None:
+        self.stats.rst_dropped += 1
+        if self.host.metrics is not None:
+            self.host.metrics.inc("tcp.rst_dropped")
+
+    def _count_bad_segment(self) -> None:
+        self.stats.bad_segments += 1
+        if self.host.metrics is not None:
+            self.host.metrics.inc("tcp.bad_segments")
+
+    def _count_bad_option(self) -> None:
+        self.stats.bad_options += 1
+        if self.host.metrics is not None:
+            self.host.metrics.inc("tcp.bad_options")
+
     def _append_receive_data(self, data: bytes, lineage=None) -> None:
         """sbappend the payload into the receive buffer.
 

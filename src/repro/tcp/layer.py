@@ -26,6 +26,7 @@ class TCPLayerStats:
     """Host-wide TCP counters."""
 
     __slots__ = ("segs_received", "cksum_errors", "no_pcb_drops",
+                 "bad_segments", "rst_dropped", "bad_options",
                  "cksum_verified", "cksum_skipped_off",
                  "cksum_precomputed")
 
@@ -95,6 +96,15 @@ class TCPLayer:
         return conn
 
     def connection_closed(self, conn: TCPConnection) -> None:
+        # Fold the connection's input-hardening counters into the
+        # layer stats so a reset/torn-down connection (e.g. one killed
+        # by an in-window SYN) doesn't take its evidence with it.
+        self.stats.bad_segments += conn.stats.bad_segments
+        self.stats.rst_dropped += conn.stats.rst_dropped
+        self.stats.bad_options += conn.stats.bad_options
+        conn.stats.bad_segments = 0
+        conn.stats.rst_dropped = 0
+        conn.stats.bad_options = 0
         self._connections.pop(conn, None)
         try:
             self.pcbs.remove(conn.pcb)
@@ -118,11 +128,13 @@ class TCPLayer:
             tcp_hdr = packet.tcp_header
             payload = packet.payload
         except HeaderError:
-            # Corrupted beyond parsing (possible under fault injection
-            # with the checksum eliminated): drop.
-            self.stats.cksum_errors += 1
+            # Corrupted beyond parsing (bad data offset, truncation —
+            # possible under fault injection or hostile mutation):
+            # drop, and account for it as a malformed segment rather
+            # than a checksum failure.
+            self.stats.bad_segments += 1
             if self.host.metrics is not None:
-                self.host.metrics.inc("tcp.cksum_errors")
+                self.host.metrics.inc("tcp.bad_segments")
             return
 
         pcb, lookup_cost, _cache_hit = self.pcbs.lookup(
@@ -221,10 +233,23 @@ class TCPLayer:
 
     def _input_listener(self, pcb: PCB, packet: Packet,
                         tcp_hdr: TCPHeader, priority: int) -> Generator:
-        if not tcp_hdr.flags & TCPFlags.SYN or tcp_hdr.flags & TCPFlags.ACK:
-            # Not a fresh SYN: a segment for a connection this host no
-            # longer has.  Reset the sender (unless it's itself a RST).
-            if not tcp_hdr.flags & TCPFlags.RST:
+        flags = tcp_hdr.flags
+        if not flags & TCPFlags.SYN or \
+                flags & (TCPFlags.ACK | TCPFlags.RST | TCPFlags.FIN):
+            # Not a clean fresh SYN: either a segment for a connection
+            # this host no longer has, or a hostile SYN|FIN / SYN|RST
+            # combination that must never spawn a half-open child.
+            # Hostile combos are dropped *silently* — answering one
+            # with a RST would both leak listener state to a scanner
+            # and refuse a peer whose legitimate SYN was mangled in
+            # flight (its own retransmission recovers the handshake).
+            if flags & TCPFlags.SYN and \
+                    flags & (TCPFlags.RST | TCPFlags.FIN):
+                self.stats.bad_segments += 1
+                if self.host.metrics is not None:
+                    self.host.metrics.inc("tcp.bad_segments")
+                return
+            if not flags & TCPFlags.RST:
                 yield from self._send_rst(
                     packet.ip_header, tcp_hdr, len(packet.payload),
                     priority)

@@ -31,6 +31,11 @@ class TCPOptions:
 
     mss: Optional[int] = None
     alt_checksum: Optional[int] = None
+    #: Set by :meth:`decode` when the option list was syntactically
+    #: broken (zero/short length, overrun, truncation).  Whatever was
+    #: parsed before the damage still applies; the receiver decides
+    #: how to account for the hostile encoding.
+    malformed: bool = False
 
     def encode(self) -> bytes:
         """Serialize to wire format, padded to a multiple of 4 bytes."""
@@ -58,13 +63,17 @@ class TCPOptions:
                 i += 1
                 continue
             if i + 1 >= len(data):
+                opts.malformed = True
                 break  # truncated option
             length = data[i + 1]
             if length < 2 or i + length > len(data):
+                opts.malformed = True
                 break  # malformed; stop parsing
             body = data[i + 2:i + length]
             if kind == _KIND_MSS and len(body) == 2:
                 opts.mss = (body[0] << 8) | body[1]
+            elif kind == _KIND_MSS:
+                opts.malformed = True  # MSS with a bogus length
             elif kind == _KIND_ALTCKSUM and len(body) == 1:
                 opts.alt_checksum = body[0]
             i += length

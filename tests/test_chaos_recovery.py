@@ -23,30 +23,45 @@ from repro.kern.config import KernelConfig
 from repro.sim.engine import us
 
 
+def _config(timer_wheel: bool) -> KernelConfig:
+    return replace(KernelConfig(), timer_wheel=timer_wheel)
+
+
+@pytest.mark.parametrize("timer_wheel", [False, True],
+                         ids=["callback-timers", "timer-wheel"])
 class TestChaosCell:
-    def test_clean_cell_is_green(self):
-        cell = run_chaos_cell(size=1400, loss=0.0, iterations=4)
+    """Every cell runs on both timer paths: the wheel quantizes rexmt
+    and delack firing, so loss recovery must be proven there too, not
+    just clean-path equivalence."""
+
+    def test_clean_cell_is_green(self, timer_wheel):
+        cell = run_chaos_cell(size=1400, loss=0.0, iterations=4,
+                              config=_config(timer_wheel))
         assert cell.ok, cell.violations
         assert cell.completed == 4
         assert cell.goodput_mbps > 0
         assert cell.retransmits >= 0
 
-    def test_lossy_cell_recovers(self):
+    def test_lossy_cell_recovers(self, timer_wheel):
         cell = run_chaos_cell(size=8000, loss=0.02, seed=1994,
-                              iterations=12, warmup=2)
+                              iterations=12, warmup=2,
+                              config=_config(timer_wheel))
         assert cell.injected["drops"] > 0
         assert cell.retransmits > 0
         assert cell.ok, cell.violations
 
-    def test_ethernet_path(self):
+    def test_ethernet_path(self, timer_wheel):
         cell = run_chaos_cell(size=1400, loss=0.02, seed=8,
-                              network="ethernet", iterations=8)
+                              network="ethernet", iterations=8,
+                              config=_config(timer_wheel))
         assert cell.ok, cell.violations
 
-    def test_loss_degrades_goodput(self):
-        clean = run_chaos_cell(size=8000, loss=0.0, iterations=8)
+    def test_loss_degrades_goodput(self, timer_wheel):
+        clean = run_chaos_cell(size=8000, loss=0.0, iterations=8,
+                               config=_config(timer_wheel))
         lossy = run_chaos_cell(size=8000, loss=0.05, seed=1994,
-                               iterations=8)
+                               iterations=8,
+                               config=_config(timer_wheel))
         assert clean.ok and lossy.ok
         if lossy.injected["drops"]:
             assert lossy.goodput_mbps < clean.goodput_mbps
@@ -127,10 +142,13 @@ class TestSweepAndRacecheck:
         assert "BAD" in table
         assert "violations:" in table
 
-    def test_impaired_run_is_racecheck_clean(self):
+    @pytest.mark.parametrize("timer_wheel", [False, True],
+                             ids=["callback-timers", "timer-wheel"])
+    def test_impaired_run_is_racecheck_clean(self, timer_wheel):
         # seed 3 @ 8% drops packets within 4 iterations, so the check
         # really covers the recovery path, not a clean run.
         report = racecheck_chaos(size=1400, loss=0.08, seed=3,
-                                 iterations=4)
+                                 iterations=4,
+                                 config=_config(timer_wheel))
         assert report.ok, report.format()
         assert report.baseline.counters.get("chaos.drops", 0) > 0

@@ -1,0 +1,145 @@
+"""The packet fuzzer itself: purity, determinism, replay, ddmin.
+
+These properties are the foundation the whole campaign rests on — if
+any of them breaks, replayed corpus cases silently diverge from the
+run that found them and ddmin minimization becomes unsound.
+"""
+
+import pytest
+
+from repro.chaos.fuzz import (
+    ALL_OPS,
+    DRAWS_PER_PACKET,
+    FuzzConfig,
+    PacketFuzzer,
+    apply_mutation,
+    mutation_level,
+)
+from repro.chaos.triage import ddmin_schedule, run_fuzz_cell
+from repro.net.headers import IPHeader, TCPFlags, TCPHeader
+from repro.net.packet import build_tcp_packet
+
+
+def _sample_pdu(payload: bytes = b"x" * 64, options: bytes = b"") -> bytes:
+    ip = IPHeader(src=0x0A000001, dst=0x0A000002,
+                  total_length=20 + 20 + len(options) + len(payload),
+                  identification=7, protocol=6)
+    tcp = TCPHeader(src_port=1024, dst_port=5001, seq=1000, ack=2000,
+                    flags=TCPFlags.ACK | TCPFlags.PSH, window=8192,
+                    options=options)
+    return build_tcp_packet(ip, tcp, payload).data
+
+
+class TestApplyMutation:
+    def test_pure_and_length_preserving(self):
+        pdu = _sample_pdu()
+        for op in ALL_OPS:
+            for sel in (0, 1, 7, 63):
+                first = apply_mutation(pdu, op, sel)
+                second = apply_mutation(pdu, op, sel)
+                assert first == second, (op, sel)
+                assert len(first) == len(pdu), (op, sel)
+        # The input is never modified in place.
+        assert pdu == _sample_pdu()
+
+    def test_every_op_changes_the_pdu(self):
+        pdu = _sample_pdu(options=bytes([2, 4, 16, 0]))
+        for op in ALL_OPS:
+            changed = any(apply_mutation(pdu, op, sel) != pdu
+                          for sel in range(8))
+            assert changed, f"{op} never changed the PDU"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            apply_mutation(_sample_pdu(), "no-such-op", 0)
+
+    def test_short_pdu_falls_back_to_raw(self):
+        pdu = b"\x45" + b"\x00" * 10  # too short for any header
+        out = apply_mutation(pdu, "tcp-flags", 3)
+        assert len(out) == len(pdu)
+        assert out != pdu
+
+    def test_mutation_levels_partition_ops(self):
+        assert {mutation_level(op) for op in ALL_OPS} == \
+            {"tcp", "ip", "raw"}
+
+    def test_rst_blind_is_out_of_window_by_construction(self):
+        pdu = _sample_pdu()
+        out = apply_mutation(pdu, "tcp-rst-blind", 0)
+        hdr = TCPHeader.unpack(out[20:])
+        assert hdr.flags == TCPFlags.RST
+        assert hdr.seq == (1000 + 0x80000000) % 2**32
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = run_fuzz_cell(size=1400, seed=42, p_mutate=0.3)
+        b = run_fuzz_cell(size=1400, seed=42, p_mutate=0.3)
+        assert a.schedule == b.schedule
+        assert a.mutations == b.mutations
+        assert a.packets_seen == b.packets_seen
+        assert a.violations == b.violations
+
+    def test_different_seeds_diverge(self):
+        a = run_fuzz_cell(size=1400, seed=42, p_mutate=0.3)
+        b = run_fuzz_cell(size=1400, seed=43, p_mutate=0.3)
+        assert a.schedule != b.schedule
+
+    def test_draw_budget_is_fixed_per_packet(self):
+        fuzzer = PacketFuzzer(FuzzConfig(seed=9, p_mutate=0.5))
+        state = fuzzer._endpoint("client")
+        before = state.stream.draws
+        fuzzer._decide(state)
+        assert state.stream.draws - before == DRAWS_PER_PACKET
+        # A non-mutating decision burns the same number of draws.
+        no_mut = PacketFuzzer(FuzzConfig(seed=9, p_mutate=0.0))
+        state2 = no_mut._endpoint("client")
+        assert no_mut._decide(state2) is None
+        assert state2.stream.draws == DRAWS_PER_PACKET
+
+
+class TestReplay:
+    def test_replay_reproduces_the_run(self):
+        recorded = run_fuzz_cell(size=1400, seed=1994, p_mutate=0.25)
+        replayed = run_fuzz_cell(size=1400, seed=1994,
+                                 schedule=recorded.schedule)
+        assert replayed.mutations == recorded.mutations
+        assert replayed.signature == recorded.signature
+        assert replayed.counters == recorded.counters
+
+    def test_empty_schedule_is_a_clean_run(self):
+        cell = run_fuzz_cell(size=200, schedule=[], expect_complete=True)
+        assert cell.ok, cell.violations
+        assert cell.mutations == 0
+        assert cell.completed == cell.iterations
+
+
+class TestDdmin:
+    def test_minimizes_to_single_culprit(self):
+        schedule = [{"endpoint": "client", "index": i,
+                     "op": "raw-bytes", "sel": i} for i in range(16)]
+        culprit = schedule[11]
+        calls = []
+
+        def failing(subset):
+            calls.append(len(subset))
+            return culprit in subset
+
+        minimal = ddmin_schedule(schedule, failing)
+        assert minimal == [culprit]
+
+    def test_minimizes_conjunction(self):
+        schedule = [{"endpoint": "client", "index": i,
+                     "op": "raw-bytes", "sel": i} for i in range(12)]
+        a, b = schedule[2], schedule[9]
+
+        def failing(subset):
+            return a in subset and b in subset
+
+        minimal = ddmin_schedule(schedule, failing)
+        assert sorted(m["index"] for m in minimal) == [2, 9]
+
+    def test_unreproducible_returns_input(self):
+        schedule = [{"endpoint": "client", "index": 0,
+                     "op": "raw-bytes", "sel": 0}]
+        assert ddmin_schedule(schedule, lambda s: False) == schedule
